@@ -1,0 +1,50 @@
+// Reproduces Fig. 3: a whole-machine (integrated) linear power model trained
+// over the summed CPU utilization of two VMs is accurate at machine level.
+//
+// Paper: p' = 9.49 u' + 138 with an average relative error of 2.07 %. Our
+// simulated Xeon yields the same structure (slope ~11.8 W per summed-util
+// unit at its pack affinity, intercept = the 138 W idle floor) and a ~1-2 %
+// held-out error.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/integrated_model.hpp"
+#include "common/vm_config.hpp"
+#include "sim/physical_machine.hpp"
+#include "util/stats.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace vmp;
+
+int main() {
+  const sim::MachineSpec spec = sim::xeon_prototype();
+
+  base::IntegratedTrainingOptions options;
+  options.duration_s = 600.0;
+  const base::IntegratedModel model =
+      base::train_integrated_model(spec, common::demo_c_vm(), 2, options);
+
+  std::printf("== Fig. 3: integrated VM power model ==\n");
+  std::printf("fitted model : p' = %.2f u' + %.2f\n", model.slope_w,
+              model.idle_w);
+  std::printf("paper's model: p' = 9.49 u' + 138 (their Xeon; slope depends "
+              "on platform)\n");
+
+  // Held-out validation run with fresh random workloads.
+  sim::PhysicalMachine machine(spec, 555);
+  for (int i = 0; i < 2; ++i) {
+    const auto id = machine.hypervisor().create_vm(
+        common::demo_c_vm(), std::make_unique<wl::SyntheticRandomCpu>(808 + i));
+    machine.hypervisor().start_vm(id);
+  }
+  const sim::ScenarioTrace trace = sim::run_scenario(machine, 600.0);
+  const double error = base::integrated_model_error(model, trace);
+
+  std::printf("\nheld-out machine-level average relative error: %.2f%%\n",
+              100.0 * error);
+  std::printf("paper: 2.07%% -- the integrated model is accurate at machine "
+              "level\n");
+  std::printf("(contrast with bench_fig4: the same training procedure fails "
+              "per-VM).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Fig. 4: independent per-VM power models break under
+// co-location.
+//
+// Two identical 1-vCPU VMs run a fully CPU-bound float job in sequence. The
+// per-VM model trained from the first VM's marginal contribution predicts
+// the same wattage for the second VM, but hyper-threading contention makes
+// the second VM add much less. Paper: relative error 25.22 % on the Pentium
+// and 46.15 % on the Xeon.
+#include <cstdio>
+#include <memory>
+
+#include "common/vm_config.hpp"
+#include "sim/physical_machine.hpp"
+#include "sim/runner.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace vmp;
+
+namespace {
+
+struct SequenceResult {
+  double idle_w = 0.0;
+  double first_marginal_w = 0.0;
+  double second_marginal_w = 0.0;
+};
+
+SequenceResult run_sequence(sim::MachineSpec spec, std::uint64_t seed) {
+  // The paper's platform co-scheduled the two vCPUs onto one physical core
+  // (that is what its meter recorded); pin the scheduler accordingly.
+  spec.pack_affinity = 1.0;
+  spec.affinity_jitter = 0.0;
+  sim::PhysicalMachine machine(spec, seed);
+  const auto a = machine.hypervisor().create_vm(
+      common::demo_c_vm(), std::make_unique<wl::BcFloatLoop>());
+  const auto b = machine.hypervisor().create_vm(
+      common::demo_c_vm(), std::make_unique<wl::BcFloatLoop>());
+
+  const auto mean_power = [&](double seconds) {
+    const auto trace = sim::run_scenario(machine, seconds);
+    return util::mean(trace.measured_power.values());
+  };
+  SequenceResult result;
+  result.idle_w = mean_power(60.0);
+  machine.hypervisor().start_vm(a);
+  const double with_one = mean_power(60.0);
+  machine.hypervisor().start_vm(b);
+  const double with_both = mean_power(60.0);
+  result.first_marginal_w = with_one - result.idle_w;
+  result.second_marginal_w = with_both - with_one;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(
+      "Fig. 4: power estimation using independent VM power models");
+
+  util::TablePrinter table({"platform", "idle (W)", "1st VM adds (W)",
+                            "2nd VM adds (W)", "model predicts (W)",
+                            "relative error", "paper error"});
+  struct Platform {
+    const char* paper_error;
+    sim::MachineSpec spec;
+  };
+  const Platform platforms[] = {
+      {"25.22%", sim::pentium_desktop()},
+      {"46.15%", sim::xeon_prototype()},
+  };
+  for (const Platform& platform : platforms) {
+    const SequenceResult r = run_sequence(platform.spec, 7);
+    // The per-VM model (Eq. 2) is trained on the first VM's marginal
+    // contribution, so it predicts the same wattage for the second VM.
+    const double predicted = r.first_marginal_w;
+    const double error =
+        (predicted - r.second_marginal_w) / predicted;
+    table.add_row({platform.spec.name, util::TablePrinter::num(r.idle_w, 1),
+                   util::TablePrinter::num(r.first_marginal_w, 2),
+                   util::TablePrinter::num(r.second_marginal_w, 2),
+                   util::TablePrinter::num(predicted, 2),
+                   util::TablePrinter::pct(error, 2), platform.paper_error});
+  }
+  table.print();
+
+  std::printf("\npaper (Xeon): first VM brings ~13 W, the second only ~7 W; "
+              "the model\npredicts 13 W for both -> 46.15%% error. The order "
+              "of activation does not\nmatter (we observed the same swapping "
+              "the VMs). Cause: hyper-threading\nresource competition "
+              "(Sec. III-D).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Fig. 7: fairness of Shapley value vs resource-usage-based
+// allocation under VM competition.
+//
+// Scenario (a): VM2 and VM3 compete and lose 1 W; VM1 is uninvolved.
+// Resource-usage allocation spreads the decline over all three VMs — VM1 is
+// punished for a competition it did not join. Shapley charges the decline
+// only to the competitors.
+//
+// Scenario (b): VM1 competes with VM2 (1 W decline) while VM2 and VM3 also
+// compete (2 W decline). Resource-usage allocation docks VM1 more than the
+// 1 W its own competition costs; Shapley splits each pairwise decline among
+// its participants.
+#include <cstdio>
+
+#include "core/shapley.hpp"
+#include "util/table.hpp"
+
+using namespace vmp;
+
+namespace {
+
+// Stand-alone powers are 5 W each; `decline(i, j)` watts vanish when i and j
+// are in the same coalition.
+core::WorthFn competition_game(double decline01, double decline12) {
+  return [=](core::Coalition s) {
+    double power = 5.0 * static_cast<double>(s.size());
+    if (s.contains(0) && s.contains(1)) power -= decline01;
+    if (s.contains(1) && s.contains(2)) power -= decline12;
+    return power;
+  };
+}
+
+void run_scenario(const char* title, double decline01, double decline12,
+                  const char* note) {
+  const core::WorthFn v = competition_game(decline01, decline12);
+  const double total = v(core::Coalition::grand(3));
+  const auto shapley = core::shapley_values(3, v);
+
+  // Resource-usage allocation: all three VMs run identical jobs (equal
+  // resource usage), so the measured total is split equally.
+  const double usage_share = total / 3.0;
+
+  util::print_banner(title);
+  util::TablePrinter table({"VM", "stand-alone (W)", "resource-usage (W)",
+                            "Shapley (W)"});
+  for (int i = 0; i < 3; ++i) {
+    table.add_row({"VM" + std::to_string(i + 1), util::TablePrinter::num(5.0, 2),
+                   util::TablePrinter::num(usage_share, 2),
+                   util::TablePrinter::num(shapley[i], 2)});
+  }
+  table.print();
+  std::printf("machine power: %.2f W (%.2f W of decline)\n", total,
+              15.0 - total);
+  std::printf("%s\n", note);
+}
+
+}  // namespace
+
+int main() {
+  run_scenario(
+      "Fig. 7(a): VM2 and VM3 compete (1 W decline); VM1 uninvolved",
+      /*decline01=*/0.0, /*decline12=*/1.0,
+      "resource-usage docks VM1 by 0.33 W although it caused no decline;\n"
+      "Shapley leaves VM1 at its stand-alone 5 W and splits the 1 W between\n"
+      "VM2 and VM3 (paper: the fair outcome).");
+
+  run_scenario(
+      "Fig. 7(b): VM1-VM2 compete (1 W) and VM2-VM3 compete (2 W)",
+      /*decline01=*/1.0, /*decline12=*/2.0,
+      "resource-usage docks VM1 a full 1 W share of the total 3 W decline\n"
+      "although its own competition only causes 1 W split two ways; Shapley\n"
+      "charges VM1 exactly 0.5 W (half of its pairwise decline), VM3 1.0 W,\n"
+      "and VM2 — party to both competitions — 1.5 W.");
+
+  std::printf("\nconclusion (paper Sec. IV-B): Shapley value is fairer than "
+              "resource\nusage-based allocation because it attributes each "
+              "power decline to the VMs\nthat cause it, over all possible "
+              "sub-coalitions.\n");
+  return 0;
+}

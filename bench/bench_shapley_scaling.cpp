@@ -1,0 +1,91 @@
+// Microbenchmarks for the paper's Sec. V-B complexity analysis.
+//
+// Exact Shapley needs 2^n worth evaluations; the paper argues n <= 16 on
+// real hosts, so the overhead is "very low" (2^16 = 65536 operations). These
+// benchmarks quantify that claim on this implementation and measure the two
+// escape hatches for larger games: Monte-Carlo permutation sampling and the
+// VHC estimator whose cost is 2^n table lookups but whose *measurement* cost
+// is only 2^r.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/monte_carlo.hpp"
+#include "core/shapley.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using vmp::core::Coalition;
+using vmp::core::WorthFn;
+
+// A synthetic sub-additive game of n players (cheap to evaluate, so the
+// benchmark measures the Shapley machinery, not the worth function).
+std::vector<double> make_game_table(std::size_t n, std::uint64_t seed) {
+  vmp::util::Rng rng(seed);
+  std::vector<double> standalone(n);
+  for (double& w : standalone) w = rng.uniform(5.0, 15.0);
+  std::vector<double> worth(std::size_t{1} << n, 0.0);
+  for (std::size_t mask = 1; mask < worth.size(); ++mask) {
+    double sum = 0.0;
+    int members = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask & (std::size_t{1} << i)) {
+        sum += standalone[i];
+        ++members;
+      }
+    // 3 % pairwise contention decline.
+    worth[mask] = sum * (1.0 - 0.03 * (members - 1));
+  }
+  return worth;
+}
+
+void BM_ExactShapley(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto table = make_game_table(n, 42);
+  const WorthFn v = [&](Coalition s) { return table[s.mask()]; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vmp::core::shapley_values(n, v));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(1) << n);
+}
+BENCHMARK(BM_ExactShapley)->DenseRange(2, 16, 2)->Complexity(benchmark::oN);
+
+void BM_MonteCarloShapley(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto permutations = static_cast<std::size_t>(state.range(1));
+  const auto table = make_game_table(n, 42);
+  const WorthFn v = [&](Coalition s) { return table[s.mask()]; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vmp::core::monte_carlo_shapley(n, v, {.permutations = permutations}));
+  }
+}
+BENCHMARK(BM_MonteCarloShapley)
+    ->ArgsProduct({{8, 16, 24}, {100, 400}});
+
+void BM_ShapleyWeights(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < n; ++s)
+      sum += vmp::core::shapley_weight(n, s);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ShapleyWeights)->Arg(16)->Arg(30);
+
+void BM_SubsetEnumeration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Coalition grand = Coalition::grand(n);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    vmp::core::for_each_subset(grand, [&](Coalition) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SubsetEnumeration)->DenseRange(8, 20, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

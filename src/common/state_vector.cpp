@@ -1,0 +1,82 @@
+#include "common/state_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vmp::common {
+
+const char* to_string(Component c) noexcept {
+  switch (c) {
+    case Component::kCpu: return "cpu";
+    case Component::kMemory: return "memory";
+    case Component::kDiskIo: return "disk_io";
+    case Component::kNetIo: return "net_io";
+  }
+  return "?";
+}
+
+StateVector StateVector::cpu_only(double cpu_util) noexcept {
+  StateVector s;
+  s[Component::kCpu] = cpu_util;
+  return s;
+}
+
+StateVector& StateVector::operator+=(const StateVector& rhs) noexcept {
+  for (std::size_t i = 0; i < kNumComponents; ++i) values_[i] += rhs.values_[i];
+  return *this;
+}
+
+StateVector& StateVector::operator-=(const StateVector& rhs) noexcept {
+  for (std::size_t i = 0; i < kNumComponents; ++i) values_[i] -= rhs.values_[i];
+  return *this;
+}
+
+StateVector& StateVector::operator*=(double s) noexcept {
+  for (double& v : values_) v *= s;
+  return *this;
+}
+
+double StateVector::dot(std::span<const double> weights) const {
+  if (weights.size() != kNumComponents)
+    throw std::invalid_argument("StateVector::dot: weight vector size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kNumComponents; ++i) sum += values_[i] * weights[i];
+  return sum;
+}
+
+bool StateVector::is_normalized() const noexcept {
+  return std::all_of(values_.begin(), values_.end(),
+                     [](double v) { return v >= 0.0 && v <= 1.0; });
+}
+
+StateVector StateVector::clamped() const noexcept {
+  StateVector out = *this;
+  for (double& v : out.values_) v = std::clamp(v, 0.0, 1.0);
+  return out;
+}
+
+StateVector StateVector::quantized(double resolution) const {
+  if (!(resolution > 0.0))
+    throw std::invalid_argument("StateVector::quantized: resolution must be > 0");
+  StateVector out = *this;
+  for (double& v : out.values_) v = std::round(v / resolution) * resolution;
+  return out;
+}
+
+double StateVector::max_abs_diff(const StateVector& other) const noexcept {
+  double m = 0.0;
+  for (std::size_t i = 0; i < kNumComponents; ++i)
+    m = std::max(m, std::abs(values_[i] - other.values_[i]));
+  return m;
+}
+
+std::string StateVector::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "[cpu=%.3f mem=%.3f disk=%.3f net=%.3f]",
+                values_[0], values_[1], values_[2], values_[3]);
+  return buf;
+}
+
+}  // namespace vmp::common

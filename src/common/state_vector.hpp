@@ -1,0 +1,108 @@
+// VM component-state vectors (paper Eq. 5).
+//
+// The paper describes each VM i by a state vector c_i = [c_i^1 ... c_i^k]
+// covering the components whose state the hypervisor can observe (CPU
+// utilization, memory usage, disk I/O, ...). We fix k = 4 observable
+// components; the evaluation — like the paper's — is driven almost entirely
+// by the CPU coordinate, but every algorithm below is written against the
+// full vector.
+//
+// Conventions: every coordinate is a normalized fraction. CPU utilization is
+// the mean across the VM's vCPUs, memory is resident-fraction of the VM's
+// allocation, disk/net are throughput relative to a nominal device maximum.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace vmp::common {
+
+/// Index of an observable VM component.
+enum class Component : std::size_t {
+  kCpu = 0,
+  kMemory = 1,
+  kDiskIo = 2,
+  kNetIo = 3,
+};
+
+inline constexpr std::size_t kNumComponents = 4;
+
+[[nodiscard]] const char* to_string(Component c) noexcept;
+
+/// The per-VM component state vector c_i (paper Eq. 5). Also used for the
+/// per-VHC aggregated vectors v_j = sum of c_i (paper Eq. 8), whose entries
+/// may exceed 1 after summation.
+class StateVector {
+ public:
+  constexpr StateVector() noexcept : values_{} {}
+
+  /// Convenience: CPU-only state with other components zero.
+  [[nodiscard]] static StateVector cpu_only(double cpu_util) noexcept;
+
+  [[nodiscard]] static constexpr StateVector zero() noexcept { return {}; }
+
+  [[nodiscard]] constexpr double operator[](Component c) const noexcept {
+    return values_[static_cast<std::size_t>(c)];
+  }
+  constexpr double& operator[](Component c) noexcept {
+    return values_[static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] double cpu() const noexcept { return (*this)[Component::kCpu]; }
+  [[nodiscard]] double memory() const noexcept {
+    return (*this)[Component::kMemory];
+  }
+  [[nodiscard]] double disk_io() const noexcept {
+    return (*this)[Component::kDiskIo];
+  }
+  [[nodiscard]] double net_io() const noexcept {
+    return (*this)[Component::kNetIo];
+  }
+
+  [[nodiscard]] std::span<const double, kNumComponents> values() const noexcept {
+    return values_;
+  }
+
+  StateVector& operator+=(const StateVector& rhs) noexcept;
+  StateVector& operator-=(const StateVector& rhs) noexcept;
+  StateVector& operator*=(double s) noexcept;
+  [[nodiscard]] friend StateVector operator+(StateVector a,
+                                             const StateVector& b) noexcept {
+    return a += b;
+  }
+  [[nodiscard]] friend StateVector operator-(StateVector a,
+                                             const StateVector& b) noexcept {
+    return a -= b;
+  }
+  [[nodiscard]] friend StateVector operator*(StateVector a, double s) noexcept {
+    return a *= s;
+  }
+
+  [[nodiscard]] bool operator==(const StateVector&) const noexcept = default;
+
+  /// Dot product with a power-mapping vector w_j (paper Eq. 9).
+  [[nodiscard]] double dot(std::span<const double> weights) const;
+
+  /// True if every coordinate is a valid fraction in [0, 1] (per-VM states;
+  /// aggregated VHC states may legitimately exceed 1).
+  [[nodiscard]] bool is_normalized() const noexcept;
+
+  /// Clamps each coordinate into [0, 1].
+  [[nodiscard]] StateVector clamped() const noexcept;
+
+  /// Rounds each coordinate to a multiple of `resolution` — the paper's table
+  /// normalization (Sec. VII-A uses resolution 0.01). resolution must be > 0.
+  [[nodiscard]] StateVector quantized(double resolution) const;
+
+  /// Largest absolute coordinate difference; used for nearest-entry lookups.
+  [[nodiscard]] double max_abs_diff(const StateVector& other) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<double, kNumComponents> values_;
+};
+
+}  // namespace vmp::common

@@ -1,0 +1,30 @@
+// Unit conventions and conversion helpers.
+//
+// The codebase uses plain doubles with documented units rather than strong
+// types: power in watts, energy in joules, time in seconds, utilization as a
+// dimensionless fraction in [0, 1]. These helpers centralize the conversions
+// the pricing/billing code needs (Table I, Fig. 1).
+#pragma once
+
+namespace vmp::common {
+
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kHoursPerYear = 8760.0;
+inline constexpr double kJoulesPerKwh = 3.6e6;
+
+/// Joules -> kilowatt-hours.
+[[nodiscard]] constexpr double joules_to_kwh(double joules) noexcept {
+  return joules / kJoulesPerKwh;
+}
+
+/// Average watts sustained for a duration -> kilowatt-hours.
+[[nodiscard]] constexpr double watts_to_kwh(double watts, double seconds) noexcept {
+  return joules_to_kwh(watts * seconds);
+}
+
+/// Yearly energy (kWh) of a device drawing `watts` continuously.
+[[nodiscard]] constexpr double yearly_kwh(double watts) noexcept {
+  return watts * kHoursPerYear / 1000.0;
+}
+
+}  // namespace vmp::common

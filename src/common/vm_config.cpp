@@ -1,0 +1,38 @@
+#include "common/vm_config.hpp"
+
+#include <stdexcept>
+
+namespace vmp::common {
+
+void VmConfig::validate() const {
+  if (vcpus == 0) throw std::invalid_argument("VmConfig: vcpus must be >= 1");
+  if (memory_mb == 0)
+    throw std::invalid_argument("VmConfig: memory_mb must be >= 1");
+}
+
+std::vector<VmConfig> paper_vm_catalogue() {
+  return {
+      VmConfig{.type_name = "VM1", .type_id = 0, .vcpus = 1, .memory_mb = 2048,
+               .disk_gb = 20},
+      VmConfig{.type_name = "VM2", .type_id = 1, .vcpus = 2, .memory_mb = 4096,
+               .disk_gb = 40},
+      VmConfig{.type_name = "VM3", .type_id = 2, .vcpus = 4, .memory_mb = 8192,
+               .disk_gb = 80},
+      VmConfig{.type_name = "VM4", .type_id = 3, .vcpus = 8, .memory_mb = 14336,
+               .disk_gb = 100},
+  };
+}
+
+VmConfig paper_vm_type(unsigned index) {
+  auto catalogue = paper_vm_catalogue();
+  if (index < 1 || index > catalogue.size())
+    throw std::out_of_range("paper_vm_type: index must be in [1, 4]");
+  return catalogue[index - 1];
+}
+
+VmConfig demo_c_vm() {
+  return VmConfig{.type_name = "C_VM", .type_id = 0, .vcpus = 1,
+                  .memory_mb = 512, .disk_gb = 8};
+}
+
+}  // namespace vmp::common

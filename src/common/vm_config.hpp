@@ -1,0 +1,41 @@
+// VM configurations and the paper's fixed instance types (Table IV).
+//
+// Datacenters offer a small catalogue of fixed VM shapes; the paper's VHC
+// construction (Sec. V-C) leans on exactly this: VMs of the same type form a
+// Virtual Homogeneous Coalition. VmTypeId identifies the catalogue entry and
+// doubles as the VHC key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmp::common {
+
+/// Index into the VM-type catalogue; equal type => same VHC.
+using VmTypeId = std::uint32_t;
+
+/// Static shape of a VM instance type.
+struct VmConfig {
+  std::string type_name;   ///< e.g. "VM1".
+  VmTypeId type_id = 0;    ///< catalogue index / VHC key.
+  unsigned vcpus = 1;      ///< number of virtual CPUs.
+  unsigned memory_mb = 512;
+  unsigned disk_gb = 8;
+
+  /// Throws std::invalid_argument on a degenerate shape (0 vCPUs / 0 memory).
+  void validate() const;
+};
+
+/// The four instance types of the paper's evaluation (Table IV):
+///   VM1: 1 vCPU / 2 GB / 20 GB      VM2: 2 vCPU / 4 GB / 40 GB
+///   VM3: 4 vCPU / 8 GB / 80 GB      VM4: 8 vCPU / 14 GB / 100 GB
+[[nodiscard]] std::vector<VmConfig> paper_vm_catalogue();
+
+/// Catalogue entry by 1-based paper index (1..4); throws std::out_of_range.
+[[nodiscard]] VmConfig paper_vm_type(unsigned index);
+
+/// The Sec. III demonstration VM (C_VM): 1 vCPU / 512 MB / 8 GB.
+[[nodiscard]] VmConfig demo_c_vm();
+
+}  // namespace vmp::common

@@ -1,0 +1,106 @@
+#include "core/axioms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/shapley.hpp"
+
+namespace vmp::core {
+
+namespace {
+void require_game(std::size_t n) {
+  if (n == 0 || n > kMaxPlayers)
+    throw std::invalid_argument("axioms: n must be in [1, kMaxPlayers]");
+}
+}  // namespace
+
+bool check_efficiency(std::span<const double> values, double grand_worth,
+                      double tol) {
+  return std::abs(efficiency_gap(values, grand_worth)) <= tol;
+}
+
+double efficiency_gap(std::span<const double> values, double grand_worth) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum - grand_worth;
+}
+
+bool players_symmetric(std::size_t n, const WorthFn& v, Player i, Player j,
+                       double tol) {
+  require_game(n);
+  if (i >= n || j >= n)
+    throw std::invalid_argument("players_symmetric: player out of range");
+  if (i == j) return true;
+  const Coalition rest = Coalition::grand(n).without(i).without(j);
+  bool symmetric = true;
+  for_each_subset(rest, [&](Coalition s) {
+    if (!symmetric) return;
+    if (std::abs(v(s.with(i)) - v(s.with(j))) > tol) symmetric = false;
+  });
+  return symmetric;
+}
+
+std::vector<std::pair<Player, Player>> symmetric_pairs(std::size_t n,
+                                                       const WorthFn& v,
+                                                       double tol) {
+  require_game(n);
+  std::vector<std::pair<Player, Player>> pairs;
+  for (Player i = 0; i < n; ++i)
+    for (Player j = i + 1; j < n; ++j)
+      if (players_symmetric(n, v, i, j, tol)) pairs.emplace_back(i, j);
+  return pairs;
+}
+
+bool check_symmetry(std::size_t n, const WorthFn& v,
+                    std::span<const double> values, double tol) {
+  if (values.size() != n)
+    throw std::invalid_argument("check_symmetry: values size != n");
+  for (const auto& [i, j] : symmetric_pairs(n, v, tol))
+    if (std::abs(values[i] - values[j]) > tol) return false;
+  return true;
+}
+
+bool player_is_dummy(std::size_t n, const WorthFn& v, Player i, double tol) {
+  require_game(n);
+  if (i >= n) throw std::invalid_argument("player_is_dummy: player out of range");
+  const Coalition rest = Coalition::grand(n).without(i);
+  bool dummy = true;
+  for_each_subset(rest, [&](Coalition s) {
+    if (!dummy) return;
+    if (std::abs(v(s.with(i)) - v(s)) > tol) dummy = false;
+  });
+  return dummy;
+}
+
+bool check_dummy(std::size_t n, const WorthFn& v, std::span<const double> values,
+                 double tol) {
+  if (values.size() != n)
+    throw std::invalid_argument("check_dummy: values size != n");
+  for (Player i = 0; i < n; ++i)
+    if (player_is_dummy(n, v, i, tol) && std::abs(values[i]) > tol) return false;
+  return true;
+}
+
+bool check_additivity(std::size_t n, const WorthFn& u, const WorthFn& w,
+                      double tol) {
+  require_game(n);
+  const auto phi_u = shapley_values(n, u);
+  const auto phi_w = shapley_values(n, w);
+  const auto phi_sum =
+      shapley_values(n, [&](Coalition s) { return u(s) + w(s); });
+  for (Player i = 0; i < n; ++i)
+    if (std::abs(phi_u[i] + phi_w[i] - phi_sum[i]) > tol) return false;
+  return true;
+}
+
+AxiomReport evaluate_axioms(std::size_t n, const WorthFn& v,
+                            std::span<const double> values, double tol) {
+  AxiomReport report;
+  report.efficiency_gap = efficiency_gap(values, v(Coalition::grand(n)));
+  report.efficiency = std::abs(report.efficiency_gap) <= tol;
+  report.symmetry = check_symmetry(n, v, values, tol);
+  report.dummy = check_dummy(n, v, values, tol);
+  return report;
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,67 @@
+// Checkers for the four Shapley axioms (paper Sec. IV-B, Axioms 1-4).
+//
+// These are used two ways: as property tests over random games, and by the
+// fairness benches to demonstrate which axioms each baseline estimator
+// violates (Table III's "macro-level accuracy" is exactly Efficiency; its
+// "fairness" column is Symmetry).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/coalition.hpp"
+
+namespace vmp::core {
+
+/// Axiom 1 (Efficiency): Σ_i Φ_i == v(N) within tol.
+[[nodiscard]] bool check_efficiency(std::span<const double> values,
+                                    double grand_worth, double tol = 1e-9);
+
+/// Signed efficiency gap Σ_i Φ_i − v(N).
+[[nodiscard]] double efficiency_gap(std::span<const double> values,
+                                    double grand_worth);
+
+/// True if players i and j are symmetric in the game: for every S with
+/// i, j ∉ S, v(S ∪ {i}) == v(S ∪ {j}) within tol. O(2^n) worth evaluations.
+[[nodiscard]] bool players_symmetric(std::size_t n, const WorthFn& v, Player i,
+                                     Player j, double tol = 1e-9);
+
+/// All symmetric pairs of the game.
+[[nodiscard]] std::vector<std::pair<Player, Player>> symmetric_pairs(
+    std::size_t n, const WorthFn& v, double tol = 1e-9);
+
+/// Axiom 2 (Symmetry): every symmetric pair receives equal payoff within tol.
+[[nodiscard]] bool check_symmetry(std::size_t n, const WorthFn& v,
+                                  std::span<const double> values,
+                                  double tol = 1e-9);
+
+/// True if player i is a dummy: v(S ∪ {i}) − v(S) == 0 for all S, within tol.
+[[nodiscard]] bool player_is_dummy(std::size_t n, const WorthFn& v, Player i,
+                                   double tol = 1e-9);
+
+/// Axiom 3 (Dummy): every dummy player receives zero payoff within tol.
+[[nodiscard]] bool check_dummy(std::size_t n, const WorthFn& v,
+                               std::span<const double> values,
+                               double tol = 1e-9);
+
+/// Axiom 4 (Additivity): for games u, w over the same players, checks that
+/// shapley(u) + shapley(w) == shapley(u + w) element-wise within tol.
+[[nodiscard]] bool check_additivity(std::size_t n, const WorthFn& u,
+                                    const WorthFn& w, double tol = 1e-9);
+
+/// Report of all four axioms for a given game and allocation, as printed by
+/// the fairness benches.
+struct AxiomReport {
+  bool efficiency = false;
+  bool symmetry = false;
+  bool dummy = false;
+  double efficiency_gap = 0.0;
+};
+
+[[nodiscard]] AxiomReport evaluate_axioms(std::size_t n, const WorthFn& v,
+                                          std::span<const double> values,
+                                          double tol = 1e-6);
+
+}  // namespace vmp::core

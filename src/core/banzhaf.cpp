@@ -1,0 +1,43 @@
+#include "core/banzhaf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::core {
+
+std::vector<double> banzhaf_values(std::size_t n, const WorthFn& v) {
+  if (n == 0) throw std::invalid_argument("banzhaf_values: n must be >= 1");
+  if (n > kMaxPlayers)
+    throw std::invalid_argument("banzhaf_values: n exceeds kMaxPlayers");
+
+  const std::size_t n_masks = std::size_t{1} << n;
+  std::vector<double> worth(n_masks);
+  for (std::size_t mask = 0; mask < n_masks; ++mask)
+    worth[mask] = v(Coalition{static_cast<Coalition::Mask>(mask)});
+
+  const double weight = std::ldexp(1.0, -static_cast<int>(n - 1));  // 2^-(n-1)
+  std::vector<double> beta(n, 0.0);
+  for (std::size_t mask = 0; mask < n_masks; ++mask) {
+    for (Player i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) continue;
+      beta[i] += weight * (worth[mask | (std::size_t{1} << i)] - worth[mask]);
+    }
+  }
+  return beta;
+}
+
+std::vector<double> normalized_banzhaf_values(std::size_t n, const WorthFn& v,
+                                              double target_total) {
+  std::vector<double> beta = banzhaf_values(n, v);
+  double total = 0.0;
+  for (double b : beta) total += b;
+  if (total == 0.0) {
+    for (double& b : beta) b = target_total / static_cast<double>(n);
+    return beta;
+  }
+  const double scale = target_total / total;
+  for (double& b : beta) b *= scale;
+  return beta;
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,34 @@
+// Banzhaf power index — the classic alternative to the Shapley value.
+//
+// Where Shapley weights a player's marginal contribution by its arrival
+// position (|S|!(n-|S|-1)!/n!), Banzhaf weights every sub-coalition equally
+// (1/2^(n-1)):
+//
+//     β_i = (1 / 2^(n-1)) Σ_{S ⊆ N\{i}} [v(S ∪ {i}) − v(S)]
+//
+// Banzhaf satisfies Symmetry and Dummy but NOT Efficiency: Σ β_i ≠ v(N) in
+// general, so using it for power billing requires rescaling to the
+// measurement ("normalized Banzhaf") — which silently forfeits the axiomatic
+// uniqueness that motivates the paper's choice of Shapley (Sec. IV-B: the
+// Shapley value is the *only* allocation satisfying all four axioms). This
+// module exists to make that trade-off measurable.
+#pragma once
+
+#include <vector>
+
+#include "core/coalition.hpp"
+
+namespace vmp::core {
+
+/// Raw Banzhaf values β_i of an n-player game (2^n worth evaluations).
+/// Throws std::invalid_argument on n == 0 or n > kMaxPlayers.
+[[nodiscard]] std::vector<double> banzhaf_values(std::size_t n,
+                                                 const WorthFn& v);
+
+/// Banzhaf values rescaled so they sum to `target_total` (e.g. the measured
+/// adjusted power). Degenerates to an equal split when all raw values are
+/// zero. Throws like banzhaf_values.
+[[nodiscard]] std::vector<double> normalized_banzhaf_values(
+    std::size_t n, const WorthFn& v, double target_total);
+
+}  // namespace vmp::core

@@ -1,0 +1,71 @@
+#include "core/coalition.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace vmp::core {
+
+Coalition Coalition::grand(std::size_t n) {
+  if (n > kMaxPlayers)
+    throw std::invalid_argument("Coalition::grand: too many players");
+  if (n == 0) return empty();
+  return Coalition{static_cast<Mask>((Mask{1} << n) - 1)};
+}
+
+Coalition Coalition::single(Player i) {
+  if (i >= kMaxPlayers)
+    throw std::invalid_argument("Coalition::single: player index too large");
+  return Coalition{Mask{1} << i};
+}
+
+std::size_t Coalition::size() const noexcept {
+  return static_cast<std::size_t>(std::popcount(mask_));
+}
+
+bool Coalition::contains(Player i) const noexcept {
+  return i < kMaxPlayers && (mask_ & (Mask{1} << i)) != 0;
+}
+
+Coalition Coalition::with(Player i) const noexcept {
+  if (i >= kMaxPlayers) return *this;
+  return Coalition{mask_ | (Mask{1} << i)};
+}
+
+Coalition Coalition::without(Player i) const noexcept {
+  if (i >= kMaxPlayers) return *this;
+  return Coalition{mask_ & ~(Mask{1} << i)};
+}
+
+std::vector<Player> Coalition::members() const {
+  std::vector<Player> out;
+  out.reserve(size());
+  Mask m = mask_;
+  while (m != 0) {
+    const auto i = static_cast<Player>(std::countr_zero(m));
+    out.push_back(i);
+    m &= m - 1;
+  }
+  return out;
+}
+
+void for_each_subset(Coalition of, const std::function<void(Coalition)>& fn) {
+  const Coalition::Mask m = of.mask();
+  // Standard submask enumeration: descends from m to 0, then visits empty.
+  Coalition::Mask sub = m;
+  while (true) {
+    fn(Coalition{sub});
+    if (sub == 0) break;
+    sub = (sub - 1) & m;
+  }
+}
+
+std::vector<Coalition> all_subsets(Coalition of) {
+  if (of.size() > 24)
+    throw std::invalid_argument("all_subsets: coalition too large to enumerate");
+  std::vector<Coalition> out;
+  out.reserve(std::size_t{1} << of.size());
+  for_each_subset(of, [&](Coalition s) { out.push_back(s); });
+  return out;
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,120 @@
+#include "core/estimator.hpp"
+
+#include <stdexcept>
+
+namespace vmp::core {
+
+namespace {
+
+std::vector<common::StateVector> states_of(std::span<const VmSample> vms) {
+  std::vector<common::StateVector> states;
+  states.reserve(vms.size());
+  for (const VmSample& vm : vms) states.push_back(vm.state);
+  return states;
+}
+
+void require_input(std::span<const VmSample> vms, double adjusted_power_w) {
+  if (vms.empty())
+    throw std::invalid_argument("PowerEstimator: need at least one VM");
+  if (vms.size() > kMaxPlayers)
+    throw std::invalid_argument("PowerEstimator: too many VMs");
+  if (adjusted_power_w < 0.0)
+    throw std::invalid_argument("PowerEstimator: adjusted power must be >= 0");
+}
+
+}  // namespace
+
+ShapleyVhcEstimator::ShapleyVhcEstimator(VhcUniverse universe,
+                                         VhcLinearApprox approx, bool anchor)
+    : universe_(std::move(universe)), approx_(std::move(approx)),
+      anchor_(anchor) {
+  if (approx_.num_vhcs() != universe_.size())
+    throw std::invalid_argument(
+        "ShapleyVhcEstimator: approximation VHC count != universe size");
+}
+
+ShapleyVhcEstimator::ShapleyVhcEstimator(VhcUniverse universe,
+                                         VhcLinearApprox approx, VscTable table,
+                                         bool anchor)
+    : ShapleyVhcEstimator(std::move(universe), std::move(approx), anchor) {
+  if (table.num_vhcs() != universe_.size())
+    throw std::invalid_argument(
+        "ShapleyVhcEstimator: table VHC count != universe size");
+  table_.emplace(std::move(table));
+}
+
+double ShapleyVhcEstimator::table_hit_rate() const noexcept {
+  return worth_queries_ > 0
+             ? static_cast<double>(table_hits_) /
+                   static_cast<double>(worth_queries_)
+             : 0.0;
+}
+
+std::vector<double> ShapleyVhcEstimator::estimate(std::span<const VmSample> vms,
+                                                  double adjusted_power_w) {
+  require_input(vms, adjusted_power_w);
+
+  std::vector<common::VmTypeId> types;
+  types.reserve(vms.size());
+  for (const VmSample& vm : vms) types.push_back(vm.type);
+  const VhcPartition partition(universe_, std::move(types));
+
+  const auto states = states_of(vms);
+  const Coalition grand = Coalition::grand(vms.size());
+
+  const StateWorthFn worth = [&](Coalition s,
+                                 std::span<const common::StateVector> c) {
+    if (s.is_empty()) return 0.0;
+    if (anchor_ && s == grand) return adjusted_power_w;
+    // Idle members add no power (paper Remark 1), so they must not steer the
+    // VHC-combination choice either: v({busy, idle}) has to equal v({busy})
+    // exactly, or the Dummy axiom breaks through weight differences between
+    // combinations.
+    Coalition active = s;
+    for (Player i : s.members())
+      if (c[i] == common::StateVector::zero()) active = active.without(i);
+    if (active.is_empty()) return 0.0;
+    const auto aggregated = partition.aggregate(active, c);
+    const VhcComboMask combo = partition.combo_of(active);
+    ++worth_queries_;
+    if (table_.has_value()) {
+      // Fig. 8's lookup-first path: a directly-measured state beats the
+      // regression.
+      if (const auto hit = table_->lookup(combo, aggregated)) {
+        ++table_hits_;
+        return *hit;
+      }
+    }
+    return approx_.predict(combo, aggregated);
+  };
+
+  return nondet_shapley_values(states, worth);
+}
+
+OracleShapleyEstimator::OracleShapleyEstimator(const sim::CoalitionProbe& probe,
+                                               bool anchor)
+    : probe_(probe), anchor_(anchor) {}
+
+std::vector<double> OracleShapleyEstimator::estimate(
+    std::span<const VmSample> vms, double adjusted_power_w) {
+  require_input(vms, adjusted_power_w);
+  if (vms.size() != probe_.fleet_size())
+    throw std::invalid_argument(
+        "OracleShapleyEstimator: sample count != probe fleet size");
+  for (std::size_t i = 0; i < vms.size(); ++i)
+    if (vms[i].type != probe_.configs()[i].type_id)
+      throw std::invalid_argument(
+          "OracleShapleyEstimator: VM order does not match probe fleet");
+
+  const auto states = states_of(vms);
+  const Coalition grand = Coalition::grand(vms.size());
+  const StateWorthFn worth = [&](Coalition s,
+                                 std::span<const common::StateVector> c) {
+    if (s.is_empty()) return 0.0;
+    if (anchor_ && s == grand) return adjusted_power_w;
+    return probe_.worth(s.mask(), c);
+  };
+  return nondet_shapley_values(states, worth);
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,120 @@
+// The per-VM power estimation framework (paper Fig. 8, online path).
+//
+// An estimator receives, once per sampling period, the telemetry of all
+// running VMs plus the machine's measured *adjusted* power (wall reading
+// minus the calibrated idle floor, per Remark 1) and returns a per-VM power
+// share Φ_i. Implementations:
+//
+//   * ShapleyVhcEstimator — the paper's method: non-deterministic Shapley
+//     over the VHC linear approximation of v(S, C), with the grand
+//     coalition's worth anchored to the measured power so Efficiency holds
+//     exactly ("Shapley value always satisfies efficiency even [when] the
+//     v(S,C)s are not accurate", Sec. VII-C).
+//   * OracleShapleyEstimator — exact Shapley with the simulator's coalition
+//     oracle as worth function (the paper's exact-Shapley reference).
+//
+// Baseline estimators (power-model / marginal / resource-usage) live in
+// src/baselines.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/state_vector.hpp"
+#include "common/vm_config.hpp"
+#include "core/linear_approx.hpp"
+#include "core/shapley.hpp"
+#include "sim/coalition_probe.hpp"
+
+namespace vmp::core {
+
+/// One running VM's telemetry at the estimation instant.
+struct VmSample {
+  std::uint32_t vm_id = 0;
+  common::VmTypeId type = 0;
+  common::StateVector state;
+};
+
+/// Interface every power-disaggregation policy implements.
+class PowerEstimator {
+ public:
+  virtual ~PowerEstimator() = default;
+
+  /// Returns Φ_i (watts) for each VM in `vms`, disaggregating
+  /// adjusted_power_w. adjusted_power_w must be >= 0; implementations throw
+  /// std::invalid_argument on malformed input.
+  [[nodiscard]] virtual std::vector<double> estimate(
+      std::span<const VmSample> vms, double adjusted_power_w) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// The paper's estimator: non-deterministic Shapley over the VHC linear
+/// approximation.
+class ShapleyVhcEstimator final : public PowerEstimator {
+ public:
+  /// `universe` must cover every type that will appear in estimate() calls.
+  /// When anchor_grand_to_measurement is true (default, the paper's online
+  /// configuration) the grand coalition worth is the measured power, making
+  /// the allocation exactly efficient; when false, Σ Φ_i equals the
+  /// approximation's own v(N, C') instead.
+  ShapleyVhcEstimator(VhcUniverse universe, VhcLinearApprox approx,
+                      bool anchor_grand_to_measurement = true);
+
+  /// The full Fig. 8 online path: sub-coalition worths are first looked up
+  /// in the offline v(S, C) table (a directly-measured state wins over the
+  /// regression) and only unobserved states fall through to the linear
+  /// approximation. The table's VHC count must match the universe.
+  ShapleyVhcEstimator(VhcUniverse universe, VhcLinearApprox approx,
+                      VscTable table, bool anchor_grand_to_measurement = true);
+
+  /// Fraction of worth queries answered from the table so far (0 when no
+  /// table was supplied). Diagnostic for EXPERIMENTS.md.
+  [[nodiscard]] double table_hit_rate() const noexcept;
+
+  [[nodiscard]] std::vector<double> estimate(std::span<const VmSample> vms,
+                                             double adjusted_power_w) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "shapley-vhc";
+  }
+
+  [[nodiscard]] const VhcLinearApprox& approximation() const noexcept {
+    return approx_;
+  }
+  [[nodiscard]] const VhcUniverse& universe() const noexcept {
+    return universe_;
+  }
+
+ private:
+  VhcUniverse universe_;
+  VhcLinearApprox approx_;
+  std::optional<VscTable> table_;
+  bool anchor_;
+  std::size_t table_hits_ = 0;
+  std::size_t worth_queries_ = 0;
+};
+
+/// Exact Shapley against the simulator's coalition-worth oracle. The probe's
+/// fleet order must match the order of the VmSample span (checked by size and
+/// type id). This estimator is the evaluation's ground-truth reference; it is
+/// unavailable on real hardware, which is the paper's entire premise.
+class OracleShapleyEstimator final : public PowerEstimator {
+ public:
+  explicit OracleShapleyEstimator(const sim::CoalitionProbe& probe,
+                                  bool anchor_grand_to_measurement = false);
+
+  [[nodiscard]] std::vector<double> estimate(std::span<const VmSample> vms,
+                                             double adjusted_power_w) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "shapley-oracle";
+  }
+
+ private:
+  const sim::CoalitionProbe& probe_;
+  bool anchor_;
+};
+
+}  // namespace vmp::core

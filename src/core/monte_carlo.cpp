@@ -1,0 +1,74 @@
+#include "core/monte_carlo.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace vmp::core {
+
+MonteCarloResult monte_carlo_shapley(std::size_t n, const WorthFn& v,
+                                     const MonteCarloOptions& options) {
+  if (n == 0 || n > kMaxPlayers)
+    throw std::invalid_argument("monte_carlo_shapley: n out of range");
+  if (options.permutations == 0)
+    throw std::invalid_argument("monte_carlo_shapley: need >= 1 permutation");
+
+  util::Rng rng(options.seed);
+  std::unordered_map<Coalition::Mask, double> memo;
+  memo.reserve(1024);
+
+  auto worth = [&](Coalition s) {
+    const auto [it, inserted] = memo.try_emplace(s.mask(), 0.0);
+    if (inserted) it->second = v(s);
+    return it->second;
+  };
+
+  // Welford accumulators per player over per-permutation marginals.
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> m2(n, 0.0);
+  std::size_t walks = 0;
+
+  auto walk = [&](const std::vector<Player>& order) {
+    ++walks;
+    Coalition prefix = Coalition::empty();
+    double prev = worth(prefix);
+    for (Player p : order) {
+      prefix = prefix.with(p);
+      const double curr = worth(prefix);
+      const double marginal = curr - prev;
+      prev = curr;
+      const double delta = marginal - mean[p];
+      mean[p] += delta / static_cast<double>(walks);
+      m2[p] += delta * (marginal - mean[p]);
+    }
+  };
+
+  std::vector<Player> order(n);
+  std::iota(order.begin(), order.end(), Player{0});
+  for (std::size_t k = 0; k < options.permutations; ++k) {
+    rng.shuffle(order);
+    walk(order);
+    if (options.antithetic) {
+      std::vector<Player> reversed(order.rbegin(), order.rend());
+      walk(reversed);
+    }
+  }
+
+  MonteCarloResult result;
+  result.values = mean;
+  result.std_errors.resize(n, 0.0);
+  if (walks > 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double var = m2[i] / static_cast<double>(walks - 1);
+      result.std_errors[i] = std::sqrt(var / static_cast<double>(walks));
+    }
+  }
+  result.worth_evaluations = memo.size();
+  result.permutations_used = walks;
+  return result;
+}
+
+}  // namespace vmp::core

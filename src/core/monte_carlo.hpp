@@ -1,0 +1,40 @@
+// Monte-Carlo Shapley estimation by permutation sampling.
+//
+// The paper's Sec. V-B complexity analysis notes that exact Shapley needs 2^n
+// worth evaluations; for hosts beyond the n <= 16 regime (or when each worth
+// evaluation is expensive) the standard randomized estimator samples uniform
+// permutations of the players and averages each player's marginal
+// contribution over the permutation prefix. The estimate is unbiased and the
+// per-player standard error shrinks as O(1/sqrt(#permutations)). Worths are
+// memoized by coalition mask, so dense sampling approaches the exact 2^n cost
+// from below instead of exceeding it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coalition.hpp"
+
+namespace vmp::core {
+
+struct MonteCarloOptions {
+  std::size_t permutations = 200;  ///< number of sampled permutations (>= 1).
+  std::uint64_t seed = 1;
+  bool antithetic = true;  ///< also walk each permutation reversed — a cheap
+                           ///< variance-reduction pairing.
+};
+
+struct MonteCarloResult {
+  std::vector<double> values;      ///< Φ estimates per player.
+  std::vector<double> std_errors;  ///< standard error of each estimate.
+  std::size_t worth_evaluations = 0;  ///< distinct v(S) evaluations performed.
+  std::size_t permutations_used = 0;
+};
+
+/// Estimates Shapley values of an n-player game by permutation sampling.
+/// Throws std::invalid_argument on n == 0, n > kMaxPlayers, or
+/// options.permutations == 0.
+[[nodiscard]] MonteCarloResult monte_carlo_shapley(std::size_t n, const WorthFn& v,
+                                                   const MonteCarloOptions& options);
+
+}  // namespace vmp::core

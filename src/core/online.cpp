@@ -1,0 +1,51 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::core {
+
+MeteringLoop::MeteringLoop(sim::PhysicalMachine& machine,
+                           PowerEstimator& estimator, double period_s,
+                           EnergyAccountant* accountant)
+    : machine_(machine), estimator_(estimator), period_s_(period_s),
+      accountant_(accountant) {
+  if (!(period_s > 0.0))
+    throw std::invalid_argument("MeteringLoop: period must be > 0");
+}
+
+MeteringSample MeteringLoop::step() {
+  MeteringSample sample;
+  const sim::MeterFrame frame = machine_.step(period_s_);
+  sample.time_s = machine_.now();
+  sample.meter_power_w = frame.active_power_w;
+  sample.adjusted_power_w =
+      std::max(0.0, frame.active_power_w - machine_.idle_power_w());
+  for (const sim::VmObservation& obs : machine_.hypervisor().observations())
+    sample.vms.push_back({obs.id, obs.type_id, obs.state});
+
+  if (!sample.vms.empty()) {
+    sample.phi = estimator_.estimate(sample.vms, sample.adjusted_power_w);
+    if (accountant_ != nullptr)
+      accountant_->add_sample(sample.vms, sample.phi,
+                              machine_.idle_power_w(), period_s_);
+  }
+  ++steps_;
+  return sample;
+}
+
+void MeteringLoop::run(
+    double duration_s,
+    const std::function<void(const MeteringSample&)>& on_sample) {
+  if (!(duration_s > 0.0))
+    throw std::invalid_argument("MeteringLoop::run: duration must be > 0");
+  const auto count =
+      static_cast<std::size_t>(std::round(duration_s / period_s_));
+  for (std::size_t k = 0; k < count; ++k) {
+    const MeteringSample sample = step();
+    if (on_sample) on_sample(sample);
+  }
+}
+
+}  // namespace vmp::core

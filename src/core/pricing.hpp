@@ -1,0 +1,37 @@
+// Electricity vs IT-cost economics behind the paper's Table I and Fig. 1.
+//
+// Table I compares the yearly electricity cost of the CPU powering a
+// mid-level (16 vCPU) AWS instance against its amortized hardware cost, for
+// 2015 retail electricity prices in the USA and Germany. We reconstruct the
+// table from first principles: cost = TDP_kW x 8760 h x tariff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vmp::core {
+
+/// 2015 retail electricity tariffs used by Table I (USD per kWh).
+inline constexpr double kUsTariffUsdPerKwh = 0.10;
+inline constexpr double kGermanyTariffUsdPerKwh = 0.1921;
+
+/// Yearly electricity cost in USD of a device drawing `watts` continuously.
+[[nodiscard]] double yearly_electricity_cost_usd(double watts,
+                                                 double usd_per_kwh);
+
+/// One row of Table I.
+struct InstanceCostRow {
+  std::string instance_type;
+  double cpu_tdp_w = 0.0;       ///< designed power of the backing Xeon CPU.
+  double electricity_usa = 0.0; ///< USD / year at the US tariff.
+  double electricity_germany = 0.0;
+  double cpu_cost = 0.0;        ///< amortized yearly IT hardware cost, USD.
+  double ram_cost = 0.0;
+  double ssd_cost = 0.0;
+};
+
+/// The reconstructed Table I (electricity columns computed, hardware columns
+/// from the paper's sourcing).
+[[nodiscard]] std::vector<InstanceCostRow> aws_instance_cost_table();
+
+}  // namespace vmp::core

@@ -1,0 +1,125 @@
+#include "core/serialization.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace vmp::core {
+
+namespace {
+
+constexpr const char* kTableMagic = "vmpower-vsc-table v1";
+constexpr const char* kApproxMagic = "vmpower-vhc-approx v1";
+
+std::ofstream open_out(const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("serialization: cannot open for write: " +
+                             path.string());
+  out.precision(12);
+  return out;
+}
+
+std::ifstream open_in(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("serialization: cannot open for read: " +
+                             path.string());
+  return in;
+}
+
+/// Parses "key=value" returning the value; throws on mismatch.
+double header_value(const std::string& token, const std::string& key) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0)
+    throw std::runtime_error("serialization: expected '" + key +
+                             "=...' in header, got '" + token + "'");
+  return std::stod(token.substr(prefix.size()));
+}
+
+}  // namespace
+
+void save_table(const VscTable& table, const std::filesystem::path& path) {
+  std::ofstream out = open_out(path);
+  out << kTableMagic << " num_vhcs=" << table.num_vhcs()
+      << " resolution=" << table.resolution() << '\n';
+  for (const VhcComboMask combo : table.combos()) {
+    for (const VscSample& sample : table.samples(combo)) {
+      out << combo;
+      for (const auto& state : sample.vhc_states)
+        for (const double v : state.values()) out << ' ' << v;
+      out << ' ' << sample.power_w << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("save_table: write failed");
+}
+
+VscTable load_table(const std::filesystem::path& path) {
+  std::ifstream in = open_in(path);
+  std::string magic_a, magic_b, vhcs_token, resolution_token;
+  in >> magic_a >> magic_b >> vhcs_token >> resolution_token;
+  if (magic_a + " " + magic_b != kTableMagic)
+    throw std::runtime_error("load_table: bad magic in " + path.string());
+  const auto num_vhcs =
+      static_cast<std::size_t>(header_value(vhcs_token, "num_vhcs"));
+  const double resolution = header_value(resolution_token, "resolution");
+
+  VscTable table(num_vhcs, resolution);
+  VhcComboMask combo = 0;
+  while (in >> combo) {
+    std::vector<common::StateVector> states(num_vhcs);
+    for (auto& state : states) {
+      for (std::size_t c = 0; c < common::kNumComponents; ++c) {
+        double v = 0.0;
+        if (!(in >> v))
+          throw std::runtime_error("load_table: truncated sample row");
+        state[static_cast<common::Component>(c)] = v;
+      }
+    }
+    double power = 0.0;
+    if (!(in >> power))
+      throw std::runtime_error("load_table: truncated sample row");
+    table.record(combo, states, power);
+  }
+  return table;
+}
+
+void save_approximation(const VhcLinearApprox& approx,
+                        const std::filesystem::path& path) {
+  std::ofstream out = open_out(path);
+  out << kApproxMagic << " num_vhcs=" << approx.num_vhcs() << '\n';
+  for (const auto& model : approx.export_models()) {
+    out << model.combo;
+    for (const double w : model.weights) out << ' ' << w;
+    out << ' ' << model.rmse << ' ' << model.sample_count << '\n';
+  }
+  if (!out) throw std::runtime_error("save_approximation: write failed");
+}
+
+VhcLinearApprox load_approximation(const std::filesystem::path& path) {
+  std::ifstream in = open_in(path);
+  std::string magic_a, magic_b, vhcs_token;
+  in >> magic_a >> magic_b >> vhcs_token;
+  if (magic_a + " " + magic_b != kApproxMagic)
+    throw std::runtime_error("load_approximation: bad magic in " +
+                             path.string());
+  const auto num_vhcs =
+      static_cast<std::size_t>(header_value(vhcs_token, "num_vhcs"));
+
+  std::vector<VhcLinearApprox::ComboModelData> models;
+  VhcComboMask combo = 0;
+  while (in >> combo) {
+    VhcLinearApprox::ComboModelData data;
+    data.combo = combo;
+    data.weights.resize(num_vhcs * common::kNumComponents);
+    for (double& w : data.weights)
+      if (!(in >> w))
+        throw std::runtime_error("load_approximation: truncated weight row");
+    if (!(in >> data.rmse >> data.sample_count))
+      throw std::runtime_error("load_approximation: truncated weight row");
+    models.push_back(std::move(data));
+  }
+  return VhcLinearApprox::from_models(num_vhcs, models);
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,38 @@
+// Persistence of the offline artifacts (paper Fig. 8: the v(S, C) table is
+// built once, stored, and consulted online ever after).
+//
+// Plain line-oriented text formats with a versioned magic header, so the
+// files are diffable, greppable, and stable across library versions:
+//
+//   vmpower-vsc-table v1 num_vhcs=<r> resolution=<q>
+//   <combo> <r x kNumComponents state values> <power_w>      (one per sample)
+//
+//   vmpower-vhc-approx v1 num_vhcs=<r>
+//   <combo> <r x kNumComponents weights> <rmse> <sample_count>
+//
+// All load functions validate the header and throw std::runtime_error on
+// malformed input.
+#pragma once
+
+#include <filesystem>
+
+#include "core/linear_approx.hpp"
+#include "core/vsc_table.hpp"
+
+namespace vmp::core {
+
+/// Writes the table; throws std::runtime_error on I/O failure.
+void save_table(const VscTable& table, const std::filesystem::path& path);
+
+/// Reads a table written by save_table.
+[[nodiscard]] VscTable load_table(const std::filesystem::path& path);
+
+/// Writes the fitted approximation; throws std::runtime_error on I/O failure.
+void save_approximation(const VhcLinearApprox& approx,
+                        const std::filesystem::path& path);
+
+/// Reads an approximation written by save_approximation.
+[[nodiscard]] VhcLinearApprox load_approximation(
+    const std::filesystem::path& path);
+
+}  // namespace vmp::core

@@ -1,0 +1,60 @@
+#include "core/shapley.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace vmp::core {
+
+double shapley_weight(std::size_t n, std::size_t s) {
+  if (n == 0 || s >= n)
+    throw std::invalid_argument("shapley_weight: requires s < n");
+  // s! (n-s-1)! / n!  computed as a product of ratios to stay well inside
+  // double range for n <= kMaxPlayers.
+  double weight = 1.0 / static_cast<double>(n);
+  // weight *= s! / (n-1)! restricted appropriately:
+  // Π_{j=1..s} j / (n-1 - (j-1))  x  remaining (n-s-1)! cancels.
+  for (std::size_t j = 1; j <= s; ++j)
+    weight *= static_cast<double>(j) / static_cast<double>(n - j);
+  return weight;
+}
+
+std::vector<double> shapley_values(std::size_t n, const WorthFn& v) {
+  if (n == 0) throw std::invalid_argument("shapley_values: n must be >= 1");
+  if (n > kMaxPlayers)
+    throw std::invalid_argument("shapley_values: n exceeds kMaxPlayers");
+
+  const std::size_t n_masks = std::size_t{1} << n;
+
+  // Evaluate the worth of every coalition exactly once.
+  std::vector<double> worth(n_masks);
+  for (std::size_t mask = 0; mask < n_masks; ++mask)
+    worth[mask] = v(Coalition{static_cast<Coalition::Mask>(mask)});
+
+  // Precompute the per-size weights.
+  std::vector<double> weight(n);
+  for (std::size_t s = 0; s < n; ++s) weight[s] = shapley_weight(n, s);
+
+  std::vector<double> phi(n, 0.0);
+  for (std::size_t mask = 0; mask < n_masks; ++mask) {
+    const Coalition s{static_cast<Coalition::Mask>(mask)};
+    const std::size_t s_size = s.size();
+    for (Player i = 0; i < n; ++i) {
+      if (s.contains(i)) continue;
+      const std::size_t with_i = mask | (std::size_t{1} << i);
+      phi[i] += weight[s_size] * (worth[with_i] - worth[mask]);
+    }
+  }
+  return phi;
+}
+
+std::vector<double> nondet_shapley_values(
+    std::span<const common::StateVector> states, const StateWorthFn& v) {
+  const std::size_t n = states.size();
+  if (n == 0)
+    throw std::invalid_argument("nondet_shapley_values: need >= 1 state");
+  // With the states C' pinned, Eq. 7 is Eq. 4 with the bound worth function.
+  return shapley_values(
+      n, [&](Coalition s) { return v(s, states); });
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,62 @@
+#include "core/shared_weights.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/least_squares.hpp"
+
+namespace vmp::core {
+
+using common::kNumComponents;
+
+SharedWeightApprox SharedWeightApprox::fit(const VscTable& table,
+                                           double ridge_lambda) {
+  if (ridge_lambda < 0.0)
+    throw std::invalid_argument("SharedWeightApprox::fit: ridge_lambda < 0");
+  if (table.total_samples() == 0)
+    throw std::invalid_argument("SharedWeightApprox::fit: empty table");
+
+  const std::size_t r = table.num_vhcs();
+  const std::size_t n_cols = r * kNumComponents;
+
+  util::Matrix design(table.total_samples(), n_cols);
+  std::vector<double> target;
+  target.reserve(table.total_samples());
+  std::size_t row = 0;
+  for (const VhcComboMask combo : table.combos()) {
+    for (const VscSample& sample : table.samples(combo)) {
+      for (std::size_t j = 0; j < r; ++j) {
+        const auto values = sample.vhc_states[j].values();
+        for (std::size_t c = 0; c < kNumComponents; ++c)
+          design(row, j * kNumComponents + c) = values[c];
+      }
+      target.push_back(sample.power_w);
+      ++row;
+    }
+  }
+
+  const util::LeastSquaresResult solution =
+      util::solve_ridge(design, target, std::max(ridge_lambda, 1e-12));
+
+  SharedWeightApprox approx(r);
+  approx.weights_ = solution.coefficients;
+  approx.rmse_ =
+      solution.residual_norm / std::sqrt(static_cast<double>(target.size()));
+  approx.samples_ = target.size();
+  return approx;
+}
+
+double SharedWeightApprox::predict(
+    std::span<const common::StateVector> states) const {
+  if (states.size() != num_vhcs_)
+    throw std::invalid_argument("SharedWeightApprox::predict: states size");
+  double power = 0.0;
+  for (std::size_t j = 0; j < num_vhcs_; ++j) {
+    const std::span<const double> wj{weights_.data() + j * kNumComponents,
+                                     kNumComponents};
+    power += states[j].dot(wj);
+  }
+  return power;
+}
+
+}  // namespace vmp::core

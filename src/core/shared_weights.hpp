@@ -1,0 +1,59 @@
+// Shared-weight approximation of v(S, C) — the Sec. VIII "applicable
+// scenario" extension.
+//
+// The paper's VHC approximation fits a separate weight set per VHC
+// *combination*, which needs 2^r offline campaigns. When VMs come in many
+// types (arbitrary shapes), 2^r is infeasible; the paper leaves that case
+// open. This extension fits a single weight vector per VHC shared across all
+// combinations:
+//
+//     v(S, C) ~= Σ_j  w_j · v_j      (same w_j for every combination)
+//
+// trading per-combination fidelity (cross-VHC couplings can no longer be
+// absorbed into combination-specific weights) for measurement cost that is
+// *linear* in the number of types: singleton campaigns suffice, and any
+// coalition of known types becomes predictable. bench_ablation_vhc's
+// Ablation E quantifies the accuracy price.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/vsc_table.hpp"
+
+namespace vmp::core {
+
+class SharedWeightApprox {
+ public:
+  /// Fits the shared weights over every sample in the table (all combos
+  /// pooled). ridge_lambda >= 0. Throws std::invalid_argument on an empty
+  /// table.
+  [[nodiscard]] static SharedWeightApprox fit(const VscTable& table,
+                                              double ridge_lambda = 1e-6);
+
+  [[nodiscard]] std::size_t num_vhcs() const noexcept { return num_vhcs_; }
+
+  /// Flattened weights (num_vhcs x kNumComponents, VHC-major).
+  [[nodiscard]] std::span<const double> weights() const noexcept {
+    return weights_;
+  }
+
+  /// Predicted v(S, C) for aggregated per-VHC states (num_vhcs entries).
+  /// Works for *any* combination, measured or not — that is the point.
+  [[nodiscard]] double predict(
+      std::span<const common::StateVector> states) const;
+
+  /// RMS residual over the training samples, watts.
+  [[nodiscard]] double fit_rmse() const noexcept { return rmse_; }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
+
+ private:
+  explicit SharedWeightApprox(std::size_t num_vhcs) : num_vhcs_(num_vhcs) {}
+
+  std::size_t num_vhcs_;
+  std::vector<double> weights_;
+  double rmse_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace vmp::core

@@ -1,0 +1,80 @@
+#include "sim/cluster.hpp"
+
+#include <stdexcept>
+
+namespace vmp::sim {
+
+const char* to_string(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kLeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+Cluster::Cluster(PlacementPolicy policy) : policy_(policy) {}
+
+HostIndex Cluster::add_host(MachineSpec spec, std::uint64_t seed) {
+  hosts_.push_back(std::make_unique<PhysicalMachine>(std::move(spec), seed));
+  return hosts_.size() - 1;
+}
+
+PhysicalMachine& Cluster::host(HostIndex index) {
+  if (index >= hosts_.size()) throw std::out_of_range("Cluster::host");
+  return *hosts_[index];
+}
+
+const PhysicalMachine& Cluster::host(HostIndex index) const {
+  if (index >= hosts_.size()) throw std::out_of_range("Cluster::host");
+  return *hosts_[index];
+}
+
+std::size_t Cluster::free_vcpus(HostIndex index) const {
+  const Hypervisor& hv = host(index).hypervisor();
+  return hv.spec().topology.logical_cpus() - hv.running_vcpus();
+}
+
+Cluster::VmLocation Cluster::launch(const common::VmConfig& config,
+                                    wl::WorkloadPtr workload) {
+  config.validate();
+  if (hosts_.empty())
+    throw std::runtime_error("Cluster::launch: cluster has no hosts");
+
+  HostIndex chosen = hosts_.size();
+  std::size_t best_free = 0;
+  for (HostIndex h = 0; h < hosts_.size(); ++h) {
+    const std::size_t free = free_vcpus(h);
+    if (free < config.vcpus) continue;
+    if (policy_ == PlacementPolicy::kFirstFit) {
+      chosen = h;
+      break;
+    }
+    if (free > best_free) {  // kLeastLoaded: maximize headroom
+      best_free = free;
+      chosen = h;
+    }
+  }
+  if (chosen == hosts_.size())
+    throw std::runtime_error(
+        "Cluster::launch: no host has capacity for this VM");
+
+  Hypervisor& hv = hosts_[chosen]->hypervisor();
+  const VmId id = hv.create_vm(config, std::move(workload));
+  hv.start_vm(id);
+  return {chosen, id};
+}
+
+std::vector<MeterFrame> Cluster::step(double dt_s) {
+  std::vector<MeterFrame> frames;
+  frames.reserve(hosts_.size());
+  for (auto& host_ptr : hosts_) frames.push_back(host_ptr->step(dt_s));
+  return frames;
+}
+
+double Cluster::total_true_power_w() const noexcept {
+  double total = 0.0;
+  for (const auto& host_ptr : hosts_) total += host_ptr->true_power().total();
+  return total;
+}
+
+}  // namespace vmp::sim

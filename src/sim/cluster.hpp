@@ -1,0 +1,64 @@
+// A small cluster of simulated hosts with VM placement.
+//
+// The paper's deployment context (Sec. I/II, Fig. 2) is a datacenter of many
+// virtualized hosts, each metered and disaggregated independently. Cluster
+// models that: a set of PhysicalMachines, first-fit or least-loaded VM
+// placement by vCPU capacity, and lock-step clocking, so fleet-level
+// examples/benches (per-tenant billing across hosts) have a substrate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/physical_machine.hpp"
+
+namespace vmp::sim {
+
+/// Index of a host within the cluster.
+using HostIndex = std::size_t;
+
+enum class PlacementPolicy {
+  kFirstFit,     ///< first host with enough free logical CPUs.
+  kLeastLoaded,  ///< host with the most free logical CPUs (balance).
+};
+
+[[nodiscard]] const char* to_string(PlacementPolicy policy) noexcept;
+
+class Cluster {
+ public:
+  explicit Cluster(PlacementPolicy policy = PlacementPolicy::kFirstFit);
+
+  /// Adds a host; the returned index is stable for the cluster's lifetime.
+  HostIndex add_host(MachineSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+  [[nodiscard]] PhysicalMachine& host(HostIndex index);
+  [[nodiscard]] const PhysicalMachine& host(HostIndex index) const;
+
+  /// Where a launched VM lives.
+  struct VmLocation {
+    HostIndex host = 0;
+    VmId vm = 0;
+  };
+
+  /// Places, creates, and starts a VM per the policy. Throws
+  /// std::runtime_error when no host has capacity, std::invalid_argument on
+  /// a bad config / null workload.
+  VmLocation launch(const common::VmConfig& config, wl::WorkloadPtr workload);
+
+  /// Free logical CPUs of a host right now.
+  [[nodiscard]] std::size_t free_vcpus(HostIndex index) const;
+
+  /// Advances every host by dt seconds (lock-step) and returns each host's
+  /// meter frame, indexed by host.
+  std::vector<MeterFrame> step(double dt_s);
+
+  /// Sum of all hosts' true power draw, watts.
+  [[nodiscard]] double total_true_power_w() const noexcept;
+
+ private:
+  PlacementPolicy policy_;
+  std::vector<std::unique_ptr<PhysicalMachine>> hosts_;
+};
+
+}  // namespace vmp::sim

@@ -1,0 +1,70 @@
+#include "sim/coalition_probe.hpp"
+
+#include <stdexcept>
+
+namespace vmp::sim {
+
+CoalitionProbe::CoalitionProbe(MachineSpec spec,
+                               std::vector<common::VmConfig> configs,
+                               std::vector<double> intensities)
+    : spec_(std::move(spec)), configs_(std::move(configs)),
+      intensities_(std::move(intensities)) {
+  spec_.validate();
+  if (configs_.empty())
+    throw std::invalid_argument("CoalitionProbe: empty VM fleet");
+  if (configs_.size() > 30)
+    throw std::invalid_argument("CoalitionProbe: at most 30 VMs supported");
+  if (intensities_.empty()) {
+    intensities_.assign(configs_.size(), 1.0);
+  } else if (intensities_.size() != configs_.size()) {
+    throw std::invalid_argument(
+        "CoalitionProbe: intensities size must match fleet size");
+  }
+  std::size_t total_vcpus = 0;
+  for (const auto& config : configs_) {
+    config.validate();
+    total_vcpus += config.vcpus;
+  }
+  if (total_vcpus > spec_.topology.logical_cpus())
+    throw std::invalid_argument(
+        "CoalitionProbe: fleet vCPUs exceed the machine's logical CPUs");
+  for (double mu : intensities_)
+    if (!(mu > 0.0))
+      throw std::invalid_argument("CoalitionProbe: intensities must be > 0");
+}
+
+PowerBreakdown CoalitionProbe::breakdown(
+    CoalitionMask mask, std::span<const common::StateVector> states) const {
+  if (states.size() != configs_.size())
+    throw std::invalid_argument("CoalitionProbe: states size != fleet size");
+  if (configs_.size() < 32 && (mask >> configs_.size()) != 0)
+    throw std::invalid_argument("CoalitionProbe: mask addresses unknown VMs");
+
+  std::vector<VcpuDemand> demands;
+  std::vector<VmLoad> loads(configs_.size());
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    if ((mask & (CoalitionMask{1} << i)) == 0) continue;
+    const common::StateVector state = states[i].clamped();
+    const double mu = intensities_[i];
+    // Idle vCPUs are not scheduled onto cores: they must not occupy logical
+    // CPU slots or they would perturb other VMs' sibling pairings (and break
+    // the Dummy axiom for zero-state VMs).
+    if (state.cpu() > 0.0) {
+      for (unsigned v = 0; v < configs_[i].vcpus; ++v)
+        demands.push_back({i, state.cpu(), mu});
+    }
+    loads[i].cpu_thread_demand =
+        state.cpu() * mu * static_cast<double>(configs_[i].vcpus);
+    loads[i].memory_mb_used =
+        state.memory() * static_cast<double>(configs_[i].memory_mb);
+    loads[i].disk_util = state.disk_io();
+  }
+  return expected_power(spec_, demands, loads);
+}
+
+double CoalitionProbe::worth(CoalitionMask mask,
+                             std::span<const common::StateVector> states) const {
+  return breakdown(mask, states).adjusted();
+}
+
+}  // namespace vmp::sim

@@ -1,0 +1,34 @@
+#include "sim/cpu_topology.hpp"
+
+#include <stdexcept>
+
+namespace vmp::sim {
+
+CpuTopology::CpuTopology(std::size_t sockets, std::size_t cores_per_socket,
+                         std::size_t threads_per_core)
+    : sockets_(sockets), cores_per_socket_(cores_per_socket),
+      threads_per_core_(threads_per_core) {
+  if (sockets == 0 || cores_per_socket == 0 || threads_per_core == 0)
+    throw std::invalid_argument("CpuTopology: dimensions must be positive");
+  if (threads_per_core > 2)
+    throw std::invalid_argument("CpuTopology: at most 2-way SMT is modelled");
+}
+
+std::size_t CpuTopology::core_of(LogicalCpu cpu) const {
+  if (cpu >= logical_cpus()) throw std::out_of_range("CpuTopology::core_of");
+  return cpu / threads_per_core_;
+}
+
+LogicalCpu CpuTopology::sibling_of(LogicalCpu cpu) const {
+  if (cpu >= logical_cpus()) throw std::out_of_range("CpuTopology::sibling_of");
+  if (threads_per_core_ == 1) return cpu;
+  return cpu ^ 1U;
+}
+
+LogicalCpu CpuTopology::first_thread_of(std::size_t core) const {
+  if (core >= physical_cores())
+    throw std::out_of_range("CpuTopology::first_thread_of");
+  return core * threads_per_core_;
+}
+
+}  // namespace vmp::sim

@@ -1,0 +1,58 @@
+// CPU topology: sockets x cores x SMT threads.
+//
+// The hyper-threading structure is the root cause of the paper's Sec. III
+// observation — two logical cores share one physical core's execution
+// resources — so the simulator models logical CPUs explicitly and exposes the
+// sibling relation the scheduler and power model need.
+#pragma once
+
+#include <cstddef>
+
+namespace vmp::sim {
+
+/// Index of a logical CPU (hardware thread), 0-based and dense.
+using LogicalCpu = std::size_t;
+
+/// Immutable machine CPU layout.
+class CpuTopology {
+ public:
+  /// Throws std::invalid_argument if any dimension is zero or threads_per_core
+  /// exceeds 2 (the model covers 2-way SMT, which is what HTT provides).
+  CpuTopology(std::size_t sockets, std::size_t cores_per_socket,
+              std::size_t threads_per_core);
+
+  [[nodiscard]] std::size_t sockets() const noexcept { return sockets_; }
+  [[nodiscard]] std::size_t cores_per_socket() const noexcept {
+    return cores_per_socket_;
+  }
+  [[nodiscard]] std::size_t threads_per_core() const noexcept {
+    return threads_per_core_;
+  }
+  [[nodiscard]] std::size_t physical_cores() const noexcept {
+    return sockets_ * cores_per_socket_;
+  }
+  [[nodiscard]] std::size_t logical_cpus() const noexcept {
+    return physical_cores() * threads_per_core_;
+  }
+
+  /// Physical core that hosts the given logical CPU. Logical CPUs are laid
+  /// out core-major: logical CPUs {2c, 2c+1} are the siblings of core c (for
+  /// 2-way SMT). Throws std::out_of_range for an invalid index.
+  [[nodiscard]] std::size_t core_of(LogicalCpu cpu) const;
+
+  /// Sibling logical CPU sharing the physical core, or the CPU itself when
+  /// SMT is off (threads_per_core == 1).
+  [[nodiscard]] LogicalCpu sibling_of(LogicalCpu cpu) const;
+
+  /// First logical CPU of physical core `core`.
+  [[nodiscard]] LogicalCpu first_thread_of(std::size_t core) const;
+
+  [[nodiscard]] bool operator==(const CpuTopology&) const noexcept = default;
+
+ private:
+  std::size_t sockets_;
+  std::size_t cores_per_socket_;
+  std::size_t threads_per_core_;
+};
+
+}  // namespace vmp::sim

@@ -1,0 +1,25 @@
+#include "sim/dstat.hpp"
+
+namespace vmp::sim {
+
+void DstatCollector::sample(const Hypervisor& hypervisor) {
+  records_.push_back({hypervisor.now(), hypervisor.observations()});
+}
+
+std::vector<common::StateVector> DstatCollector::series_for(VmId id) const {
+  std::vector<common::StateVector> out;
+  out.reserve(records_.size());
+  for (const DstatRecord& record : records_) {
+    common::StateVector state{};
+    for (const VmObservation& obs : record.observations) {
+      if (obs.id == id) {
+        state = obs.state;
+        break;
+      }
+    }
+    out.push_back(state);
+  }
+  return out;
+}
+
+}  // namespace vmp::sim

@@ -1,0 +1,40 @@
+// dstat-style VM state collection (paper Sec. VI-C).
+//
+// The prototype samples every VM's component states once per second with the
+// off-the-shelf dstat tool; DstatCollector is that sampling plane: it snapshots
+// the hypervisor's per-VM observations at a fixed cadence and keeps the
+// aligned records the estimators consume.
+#pragma once
+
+#include <vector>
+
+#include "sim/hypervisor.hpp"
+
+namespace vmp::sim {
+
+/// All running VMs' states at one sampling instant.
+struct DstatRecord {
+  double time_s = 0.0;
+  std::vector<VmObservation> observations;
+};
+
+class DstatCollector {
+ public:
+  /// Snapshots the hypervisor's current observations.
+  void sample(const Hypervisor& hypervisor);
+
+  [[nodiscard]] const std::vector<DstatRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  void clear() noexcept { records_.clear(); }
+
+  /// The state series of one VM across all records; instants where the VM was
+  /// not running are reported as all-zero states.
+  [[nodiscard]] std::vector<common::StateVector> series_for(VmId id) const;
+
+ private:
+  std::vector<DstatRecord> records_;
+};
+
+}  // namespace vmp::sim

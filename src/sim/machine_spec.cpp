@@ -1,0 +1,73 @@
+#include "sim/machine_spec.hpp"
+
+#include <stdexcept>
+
+namespace vmp::sim {
+
+void MachineSpec::validate() const {
+  if (idle_power_w < 0.0)
+    throw std::invalid_argument("MachineSpec: idle power must be >= 0");
+  if (!(thread_full_power_w > 0.0))
+    throw std::invalid_argument("MachineSpec: thread power must be > 0");
+  if (smt_contention < 0.0 || smt_contention >= 1.0)
+    throw std::invalid_argument("MachineSpec: smt_contention must be in [0,1)");
+  if (llc_contention_w < 0.0)
+    throw std::invalid_argument("MachineSpec: llc_contention_w must be >= 0");
+  if (!(cpu_power_knee_w > 0.0))
+    throw std::invalid_argument("MachineSpec: cpu_power_knee_w must be > 0");
+  if (cpu_saturation_slope < 0.0 || cpu_saturation_slope > 1.0)
+    throw std::invalid_argument(
+        "MachineSpec: cpu_saturation_slope must be in [0, 1]");
+  if (memory_power_w < 0.0 || disk_power_w < 0.0)
+    throw std::invalid_argument("MachineSpec: component power must be >= 0");
+  if (memory_mb == 0)
+    throw std::invalid_argument("MachineSpec: memory_mb must be >= 1");
+  if (meter_noise_sigma_w < 0.0)
+    throw std::invalid_argument("MachineSpec: meter noise must be >= 0");
+  if (meter_quantum_w < 0.0)
+    throw std::invalid_argument("MachineSpec: meter quantum must be >= 0");
+  if (pack_affinity < 0.0 || pack_affinity > 1.0)
+    throw std::invalid_argument("MachineSpec: pack_affinity must be in [0,1]");
+  if (affinity_jitter < 0.0)
+    throw std::invalid_argument("MachineSpec: affinity_jitter must be >= 0");
+}
+
+MachineSpec xeon_prototype() {
+  MachineSpec spec;
+  spec.name = "xeon-prototype";
+  spec.topology = CpuTopology{1, 8, 2};  // 16 logical CPUs, as in the paper.
+  spec.idle_power_w = 138.0;
+  spec.thread_full_power_w = 13.15;
+  spec.smt_contention = 0.4425;
+  spec.llc_contention_w = 0.25;
+  spec.memory_power_w = 12.0;
+  spec.disk_power_w = 10.0;
+  spec.memory_mb = 32768;
+  spec.meter_noise_sigma_w = 0.4;
+  spec.meter_quantum_w = 0.1;
+  spec.pack_affinity = 0.40;
+  spec.validate();
+  return spec;
+}
+
+MachineSpec pentium_desktop() {
+  MachineSpec spec;
+  spec.name = "pentium-desktop";
+  spec.cpu_power_knee_w = 30.0;
+  spec.cpu_saturation_slope = 0.5;
+  spec.topology = CpuTopology{1, 2, 2};  // hyper-threaded dual-core desktop.
+  spec.idle_power_w = 45.0;
+  spec.thread_full_power_w = 9.0;
+  spec.smt_contention = 0.2355;
+  spec.llc_contention_w = 0.15;
+  spec.memory_power_w = 4.0;
+  spec.disk_power_w = 6.0;
+  spec.memory_mb = 8192;
+  spec.meter_noise_sigma_w = 0.3;
+  spec.meter_quantum_w = 0.1;
+  spec.pack_affinity = 0.40;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace vmp::sim

@@ -1,0 +1,75 @@
+// Physical-machine parameterization and the two measurement platforms of the
+// paper (Sec. III-A: an Intel Pentium desktop and the Xeon prototype server).
+//
+// Calibration targets, taken from the paper's measurements:
+//   * Xeon: idle power ~138 W; one fully-loaded 1-vCPU VM adds ~13 W; a
+//     second identical VM packed onto the sibling hyper-thread adds only
+//     ~7 W, a 46.15 % power-model error. Two mechanisms share that decline:
+//     SMT execution-unit contention (gamma) and the cross-VM LLC/memory-
+//     bandwidth coupling, so gamma = 0.4615 - llc_w/p_t = 0.4425.
+//   * Pentium: the same experiment yields a 25.22 % error
+//     => gamma = 0.2522 - 0.15/9.0 = 0.2355.
+#pragma once
+
+#include <string>
+
+#include "sim/cpu_topology.hpp"
+
+namespace vmp::sim {
+
+/// All physical parameters of a simulated server.
+struct MachineSpec {
+  std::string name;
+  CpuTopology topology{1, 1, 2};
+
+  // --- power model ---
+  double idle_power_w = 138.0;       ///< stable baseline (paper Remark 1).
+  double thread_full_power_w = 13.15;///< dynamic power of one busy thread (p_t).
+  double smt_contention = 0.4425;    ///< fraction of the overlapping sibling
+                                     ///< load whose power is saved (gamma).
+  double llc_contention_w = 0.25;     ///< cross-VM shared-cache/membw coupling,
+                                     ///< watts per unit overlapping demand pair.
+  /// Power-limited turbo: beyond this CPU dynamic power the package power
+  /// controller scales frequency down, so additional load adds only
+  /// cpu_saturation_slope watts per nominal watt. This is why the summed
+  /// per-VM isolation models (trained far below the knee) overshoot the
+  /// measured power so badly at machine saturation — the paper's Fig. 11
+  /// reports a 56.43 % aggregate error for the 5-VM full-load mix.
+  double cpu_power_knee_w = 105.0;
+  double cpu_saturation_slope = 0.65;
+
+  double memory_power_w = 12.0;      ///< max DRAM power above idle (Sec. VI-C).
+  double disk_power_w = 10.0;        ///< max disk power above idle (Sec. VI-C).
+  unsigned memory_mb = 32768;        ///< host DRAM capacity.
+
+  // --- measurement chain ---
+  double meter_noise_sigma_w = 0.4;  ///< wall-meter Gaussian noise.
+  double meter_quantum_w = 0.1;      ///< meter display quantization.
+
+  // --- scheduling behaviour ---
+  /// Time-averaged fraction of a sampling interval during which the
+  /// hypervisor's scheduler co-schedules sibling hyper-threads (pack) rather
+  /// than spreading across idle cores. Within one 1 Hz sample the OS migrates
+  /// threads many times, so sampled power is the pack/spread *blend* at this
+  /// fraction rather than one placement or the other. Calibrated so the
+  /// fitted per-type isolation models land near the paper's Table IV
+  /// coefficients.
+  double pack_affinity = 0.40;
+
+  /// Per-sample standard deviation of the realized pack fraction (sub-second
+  /// scheduling variability visible at 1 Hz).
+  double affinity_jitter = 0.06;
+
+  /// Throws std::invalid_argument when a parameter is outside its domain.
+  void validate() const;
+};
+
+/// The paper's prototype server: Intel Xeon, 8 physical cores x 2 HT threads
+/// (16 logical CPUs), 32 GB RAM, idle 138 W.
+[[nodiscard]] MachineSpec xeon_prototype();
+
+/// The paper's second platform: a Pentium desktop with one hyper-threaded
+/// core pair and a shallower SMT contention (25.22 %).
+[[nodiscard]] MachineSpec pentium_desktop();
+
+}  // namespace vmp::sim

@@ -1,0 +1,14 @@
+#include "sim/msr.hpp"
+
+namespace vmp::sim {
+
+std::uint64_t MsrFile::read(std::uint32_t address) const noexcept {
+  const auto it = regs_.find(address);
+  return it != regs_.end() ? it->second : 0;
+}
+
+void MsrFile::write(std::uint32_t address, std::uint64_t value) {
+  regs_[address] = value;
+}
+
+}  // namespace vmp::sim

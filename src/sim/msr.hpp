@@ -1,0 +1,34 @@
+// A simulated model-specific-register (MSR) file.
+//
+// On real Intel hardware, RAPL energy counters are read through rdmsr on
+// /dev/cpu/*/msr. The simulator keeps a sparse register file with the same
+// access semantics (64-bit read/write by address) so the RAPL plumbing in
+// this repo exercises the exact code shape a host agent uses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace vmp::sim {
+
+/// Well-known Intel MSR addresses used by the RAPL interface.
+inline constexpr std::uint32_t kMsrRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kMsrPkgEnergyStatus = 0x611;
+inline constexpr std::uint32_t kMsrDramEnergyStatus = 0x619;
+inline constexpr std::uint32_t kMsrPp0EnergyStatus = 0x639;
+
+/// Sparse 64-bit register file. Unwritten registers read as zero, matching
+/// the reset value of the energy-status MSRs.
+class MsrFile {
+ public:
+  [[nodiscard]] std::uint64_t read(std::uint32_t address) const noexcept;
+  void write(std::uint32_t address, std::uint64_t value);
+
+  /// Number of registers ever written (introspection for tests).
+  [[nodiscard]] std::size_t populated() const noexcept { return regs_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> regs_;
+};
+
+}  // namespace vmp::sim

@@ -1,0 +1,41 @@
+#include "sim/power_meter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::sim {
+
+PowerMeter::PowerMeter(double noise_sigma_w, double quantum_w, std::uint64_t seed)
+    : noise_sigma_w_(noise_sigma_w), quantum_w_(quantum_w), rng_(seed) {
+  if (noise_sigma_w < 0.0)
+    throw std::invalid_argument("PowerMeter: noise sigma must be >= 0");
+  if (quantum_w < 0.0)
+    throw std::invalid_argument("PowerMeter: quantum must be >= 0");
+}
+
+double PowerMeter::read(double true_power_w) {
+  double reading = true_power_w + rng_.normal(0.0, noise_sigma_w_);
+  if (quantum_w_ > 0.0) reading = std::round(reading / quantum_w_) * quantum_w_;
+  return std::max(reading, 0.0);
+}
+
+SerialMeterPort::SerialMeterPort(PowerMeter meter, double line_voltage_v)
+    : meter_(std::move(meter)), line_voltage_v_(line_voltage_v) {
+  if (!(line_voltage_v > 0.0))
+    throw std::invalid_argument("SerialMeterPort: line voltage must be > 0");
+}
+
+MeterFrame SerialMeterPort::read_frame(double true_power_w, double dt_s) {
+  if (!(dt_s > 0.0))
+    throw std::invalid_argument("SerialMeterPort::read_frame: dt must be > 0");
+  MeterFrame frame;
+  frame.active_power_w = meter_.read(true_power_w);
+  frame.voltage_v = line_voltage_v_;
+  frame.current_a = frame.active_power_w / line_voltage_v_;
+  energy_wh_ += frame.active_power_w * dt_s / 3600.0;
+  frame.energy_wh = energy_wh_;
+  return frame;
+}
+
+}  // namespace vmp::sim

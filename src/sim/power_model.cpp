@@ -1,0 +1,90 @@
+#include "sim/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::sim {
+
+PowerBreakdown compute_power(const MachineSpec& spec, const Placement& placement,
+                             std::span<const VmLoad> vm_loads) {
+  const CpuTopology& topo = spec.topology;
+  if (placement.size() != topo.logical_cpus())
+    throw std::invalid_argument("compute_power: placement size != logical CPUs");
+
+  PowerBreakdown p;
+  p.idle = spec.idle_power_w;
+
+  // Per-core SMT-contended dynamic power.
+  const double pt = spec.thread_full_power_w;
+  const std::size_t tpc = topo.threads_per_core();
+  for (std::size_t core = 0; core < topo.physical_cores(); ++core) {
+    const LogicalCpu t0 = topo.first_thread_of(core);
+    const double e1 = placement[t0].effective_load();
+    const double e2 = tpc == 2 ? placement[t0 + 1].effective_load() : 0.0;
+    p.cpu_dynamic += pt * (e1 + e2) - spec.smt_contention * pt * std::min(e1, e2);
+  }
+  // Power-limited turbo: beyond the knee the package controller scales
+  // frequency, so nominal load converts to power at a reduced slope.
+  if (p.cpu_dynamic > spec.cpu_power_knee_w) {
+    p.cpu_dynamic = spec.cpu_power_knee_w +
+                    spec.cpu_saturation_slope *
+                        (p.cpu_dynamic - spec.cpu_power_knee_w);
+  }
+
+  // Cross-VM LLC / memory-bandwidth coupling: every pair of distinct VMs
+  // saves a little power proportional to their overlapping CPU demand
+  // (both stall more, so neither's pipelines run as hot). Capped so the
+  // machine's dynamic power can never go negative.
+  double llc = 0.0;
+  for (std::size_t i = 0; i < vm_loads.size(); ++i) {
+    if (vm_loads[i].cpu_thread_demand <= 0.0) continue;
+    for (std::size_t j = i + 1; j < vm_loads.size(); ++j) {
+      llc += spec.llc_contention_w *
+             std::min(vm_loads[i].cpu_thread_demand, vm_loads[j].cpu_thread_demand);
+    }
+  }
+  p.llc_penalty = std::min(llc, 0.25 * p.cpu_dynamic);
+
+  // Memory and disk: linear in the host-level component utilization.
+  double mem_mb = 0.0;
+  double disk = 0.0;
+  for (const VmLoad& load : vm_loads) {
+    mem_mb += load.memory_mb_used;
+    disk += load.disk_util;
+  }
+  p.memory = spec.memory_power_w *
+             std::min(1.0, mem_mb / static_cast<double>(spec.memory_mb));
+  p.disk = spec.disk_power_w * std::min(1.0, disk);
+  return p;
+}
+
+PowerBreakdown blended_power(const MachineSpec& spec,
+                             std::span<const VcpuDemand> demands,
+                             std::span<const VmLoad> vm_loads,
+                             double pack_fraction) {
+  if (pack_fraction < 0.0 || pack_fraction > 1.0)
+    throw std::invalid_argument("blended_power: pack_fraction must be in [0,1]");
+  const PowerBreakdown packed =
+      compute_power(spec, place(spec.topology, demands, PlacementMode::kPack),
+                    vm_loads);
+  const PowerBreakdown spread =
+      compute_power(spec, place(spec.topology, demands, PlacementMode::kSpread),
+                    vm_loads);
+  const double a = pack_fraction;
+  PowerBreakdown p;
+  p.idle = packed.idle;
+  p.cpu_dynamic = a * packed.cpu_dynamic + (1.0 - a) * spread.cpu_dynamic;
+  p.llc_penalty = a * packed.llc_penalty + (1.0 - a) * spread.llc_penalty;
+  p.memory = packed.memory;  // placement-independent
+  p.disk = packed.disk;
+  return p;
+}
+
+PowerBreakdown expected_power(const MachineSpec& spec,
+                              std::span<const VcpuDemand> demands,
+                              std::span<const VmLoad> vm_loads) {
+  return blended_power(spec, demands, vm_loads, spec.pack_affinity);
+}
+
+}  // namespace vmp::sim

@@ -1,0 +1,74 @@
+// The simulated machine's physical power synthesis.
+//
+// This is the "analog truth" of the testbed — the quantity the wall meter
+// observes. Per physical core, the dynamic power of sibling hyper-threads is
+// sub-additive:
+//
+//   p_core = p_t * (e1 + e2) - gamma * p_t * min(e1, e2)
+//
+// where e is a thread's effective load (utilization x instruction-mix
+// intensity) and gamma the SMT contention factor: while both siblings issue
+// work, they compete for the core's shared execution units (Fig. 5 of the
+// paper), so the overlapping fraction min(e1, e2) costs (1 - gamma) of its
+// nominal power. A second, smaller machine-level coupling models shared LLC /
+// memory-bandwidth contention between *distinct VMs*. Memory and disk draw a
+// few watts each (Sec. VI-C measures ~12 W and ~10 W) and the idle floor is a
+// stable constant (Remark 1).
+#pragma once
+
+#include <span>
+
+#include "sim/machine_spec.hpp"
+#include "sim/scheduler.hpp"
+
+namespace vmp::sim {
+
+/// Per-VM aggregate load for machine-level power terms.
+struct VmLoad {
+  double cpu_thread_demand = 0.0;  ///< sum over vCPUs of util x intensity.
+  double memory_mb_used = 0.0;     ///< resident DRAM of this VM, MB.
+  double disk_util = 0.0;          ///< fraction of device throughput, [0,1].
+};
+
+/// Decomposed instantaneous machine power, all in watts.
+struct PowerBreakdown {
+  double idle = 0.0;
+  double cpu_dynamic = 0.0;   ///< after SMT contention.
+  double llc_penalty = 0.0;   ///< cross-VM shared-resource saving (subtracted).
+  double memory = 0.0;
+  double disk = 0.0;
+
+  /// Wall power: idle + cpu - llc + memory + disk.
+  [[nodiscard]] double total() const noexcept {
+    return idle + cpu_dynamic - llc_penalty + memory + disk;
+  }
+  /// Idle-adjusted power, the quantity every estimator disaggregates
+  /// (paper Remark 1 deducts the idle floor).
+  [[nodiscard]] double adjusted() const noexcept { return total() - idle; }
+};
+
+/// Computes the machine's true instantaneous power for a given placement and
+/// per-VM loads. `placement.size()` must equal the topology's logical CPU
+/// count (throws std::invalid_argument otherwise).
+[[nodiscard]] PowerBreakdown compute_power(const MachineSpec& spec,
+                                           const Placement& placement,
+                                           std::span<const VmLoad> vm_loads);
+
+/// Power blend between the two placements at a given pack fraction:
+/// pack_fraction * power(pack placement) + (1 - pack_fraction) *
+/// power(spread placement). This is what a 1 Hz sample observes: within one
+/// sampling interval the OS migrates threads many times, so the sample
+/// averages the two extremes. pack_fraction must be in [0, 1].
+[[nodiscard]] PowerBreakdown blended_power(const MachineSpec& spec,
+                                           std::span<const VcpuDemand> demands,
+                                           std::span<const VmLoad> vm_loads,
+                                           double pack_fraction);
+
+/// blended_power at the spec's nominal pack_affinity. This is the
+/// deterministic oracle used for coalition worths (exact Shapley ground
+/// truth) — the value sampled power fluctuates around for fixed states.
+[[nodiscard]] PowerBreakdown expected_power(const MachineSpec& spec,
+                                            std::span<const VcpuDemand> demands,
+                                            std::span<const VmLoad> vm_loads);
+
+}  // namespace vmp::sim

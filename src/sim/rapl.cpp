@@ -1,0 +1,99 @@
+#include "sim/rapl.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::sim {
+
+const char* to_string(RaplDomain d) noexcept {
+  switch (d) {
+    case RaplDomain::kPackage: return "package";
+    case RaplDomain::kPp0: return "pp0";
+    case RaplDomain::kDram: return "dram";
+  }
+  return "?";
+}
+
+std::uint32_t msr_address(RaplDomain d) noexcept {
+  switch (d) {
+    case RaplDomain::kPackage: return kMsrPkgEnergyStatus;
+    case RaplDomain::kPp0: return kMsrPp0EnergyStatus;
+    case RaplDomain::kDram: return kMsrDramEnergyStatus;
+  }
+  return 0;
+}
+
+RaplSimulator::RaplSimulator(MsrFile& msr, unsigned energy_status_unit)
+    : msr_(msr), joules_per_count_(std::ldexp(1.0, -static_cast<int>(energy_status_unit))) {
+  if (energy_status_unit == 0 || energy_status_unit > 31)
+    throw std::invalid_argument("RaplSimulator: ESU must be in [1, 31]");
+  // MSR_RAPL_POWER_UNIT: energy unit in bits 12:8 (power and time units left
+  // at their common defaults: PU=3 -> 1/8 W, TU=10 -> ~1 ms).
+  const std::uint64_t unit_reg =
+      (static_cast<std::uint64_t>(energy_status_unit) << 8) | 0x3 | (0xAULL << 16);
+  msr_.write(kMsrRaplPowerUnit, unit_reg);
+}
+
+void RaplSimulator::add_energy(std::uint32_t address, double joules) {
+  double* residual = nullptr;
+  switch (address) {
+    case kMsrPkgEnergyStatus: residual = &pkg_residual_; break;
+    case kMsrPp0EnergyStatus: residual = &pp0_residual_; break;
+    case kMsrDramEnergyStatus: residual = &dram_residual_; break;
+    default: throw std::invalid_argument("RaplSimulator: unknown energy MSR");
+  }
+  *residual += joules / joules_per_count_;
+  const double whole = std::floor(*residual);
+  *residual -= whole;
+  const auto counts = static_cast<std::uint64_t>(whole);
+  const auto current = static_cast<std::uint32_t>(msr_.read(address));
+  // 32-bit wraparound is the defining quirk of these counters.
+  msr_.write(address, static_cast<std::uint32_t>(current + counts));
+}
+
+void RaplSimulator::accumulate(const PowerBreakdown& power, double dt_s) {
+  if (!(dt_s > 0.0))
+    throw std::invalid_argument("RaplSimulator::accumulate: dt must be > 0");
+  const double cpu = power.cpu_dynamic - power.llc_penalty;
+  add_energy(kMsrPp0EnergyStatus, cpu * dt_s);
+  add_energy(kMsrPkgEnergyStatus, (cpu + power.idle) * dt_s);
+  add_energy(kMsrDramEnergyStatus, power.memory * dt_s);
+}
+
+RaplReader::RaplReader(const MsrFile& msr)
+    : msr_(msr),
+      last_pkg_(static_cast<std::uint32_t>(msr.read(kMsrPkgEnergyStatus))),
+      last_pp0_(static_cast<std::uint32_t>(msr.read(kMsrPp0EnergyStatus))),
+      last_dram_(static_cast<std::uint32_t>(msr.read(kMsrDramEnergyStatus))) {
+  const std::uint64_t unit_reg = msr.read(kMsrRaplPowerUnit);
+  const auto esu = static_cast<unsigned>((unit_reg >> 8) & 0x1F);
+  if (esu == 0)
+    throw std::runtime_error("RaplReader: MSR_RAPL_POWER_UNIT not initialized");
+  joules_per_count_ = std::ldexp(1.0, -static_cast<int>(esu));
+}
+
+std::uint32_t& RaplReader::last_of(RaplDomain d) {
+  switch (d) {
+    case RaplDomain::kPackage: return last_pkg_;
+    case RaplDomain::kPp0: return last_pp0_;
+    case RaplDomain::kDram: return last_dram_;
+  }
+  throw std::invalid_argument("RaplReader: unknown domain");
+}
+
+double RaplReader::energy_since_last_j(RaplDomain domain) {
+  const auto now = static_cast<std::uint32_t>(msr_.read(msr_address(domain)));
+  std::uint32_t& last = last_of(domain);
+  // Unsigned subtraction handles a single wrap correctly.
+  const std::uint32_t delta = now - last;
+  last = now;
+  return static_cast<double>(delta) * joules_per_count_;
+}
+
+double RaplReader::average_power_w(RaplDomain domain, double dt_s) {
+  if (!(dt_s > 0.0))
+    throw std::invalid_argument("RaplReader::average_power_w: dt must be > 0");
+  return energy_since_last_j(domain) / dt_s;
+}
+
+}  // namespace vmp::sim

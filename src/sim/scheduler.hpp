@@ -1,0 +1,84 @@
+// vCPU -> logical-CPU placement.
+//
+// Whether two busy vCPUs land on sibling hyper-threads of one physical core
+// or on separate cores decides how much execution-unit competition (and hence
+// sub-additive power) the machine exhibits. The simulator provides:
+//
+//   * kSpread — prefer empty physical cores (what an idle-balancing scheduler
+//     does on an uncrowded host);
+//   * kPack   — prefer filling a half-busy core's free sibling first (what a
+//     consolidating scheduler, or a crowded host, produces; this is the
+//     placement behind the paper's Fig. 4 measurement);
+//   * StochasticScheduler — picks pack vs spread per scheduling epoch with
+//     probability `pack_affinity`, reproducing the time-averaged partial
+//     contention that makes the paper's Table IV per-type coefficients land
+//     between the pure-pack and pure-spread extremes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/cpu_topology.hpp"
+#include "util/rng.hpp"
+
+namespace vmp::sim {
+
+/// One runnable vCPU's demand for a scheduling epoch.
+struct VcpuDemand {
+  std::size_t vm_index = 0;   ///< index into the caller's VM array.
+  double utilization = 0.0;   ///< demanded fraction of the thread, [0, 1].
+  double intensity = 1.0;     ///< workload power intensity (> 0).
+};
+
+/// Per-logical-CPU assignment produced by placement. vm_index ==
+/// kUnassigned marks an idle thread.
+struct ThreadAssignment {
+  static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::size_t vm_index = kUnassigned;
+  double utilization = 0.0;
+  double intensity = 1.0;
+
+  [[nodiscard]] bool busy() const noexcept { return vm_index != kUnassigned; }
+  /// Effective execution-unit pressure this thread exerts.
+  [[nodiscard]] double effective_load() const noexcept {
+    return busy() ? utilization * intensity : 0.0;
+  }
+};
+
+/// A full placement: one ThreadAssignment per logical CPU.
+using Placement = std::vector<ThreadAssignment>;
+
+enum class PlacementMode { kSpread, kPack };
+
+[[nodiscard]] const char* to_string(PlacementMode mode) noexcept;
+
+/// Deterministic greedy placement of the demands in order.
+///
+/// Throws std::invalid_argument if more vCPUs are demanded than logical CPUs
+/// exist (the hypervisor enforces no-overcommit, matching the paper's Sec. V-B
+/// observation that hosts run at most one vCPU per logical core).
+[[nodiscard]] Placement place(const CpuTopology& topology,
+                              std::span<const VcpuDemand> demands,
+                              PlacementMode mode);
+
+/// Epoch-stochastic scheduler: each call to schedule() chooses kPack with
+/// probability pack_affinity, else kSpread, then places deterministically.
+class StochasticScheduler {
+ public:
+  /// Throws std::invalid_argument if pack_affinity is outside [0, 1].
+  StochasticScheduler(double pack_affinity, std::uint64_t seed);
+
+  [[nodiscard]] Placement schedule(const CpuTopology& topology,
+                                   std::span<const VcpuDemand> demands);
+
+  /// Mode chosen by the most recent schedule() call.
+  [[nodiscard]] PlacementMode last_mode() const noexcept { return last_mode_; }
+
+ private:
+  double pack_affinity_;
+  util::Rng rng_;
+  PlacementMode last_mode_ = PlacementMode::kSpread;
+};
+
+}  // namespace vmp::sim

@@ -1,0 +1,48 @@
+#include "sim/vm.hpp"
+
+#include <stdexcept>
+
+namespace vmp::sim {
+
+const char* to_string(VmState s) noexcept {
+  switch (s) {
+    case VmState::kStopped: return "stopped";
+    case VmState::kRunning: return "running";
+  }
+  return "?";
+}
+
+Vm::Vm(VmId id, common::VmConfig config, wl::WorkloadPtr workload)
+    : id_(id), config_(std::move(config)), workload_(std::move(workload)) {
+  config_.validate();
+  if (workload_ == nullptr)
+    throw std::invalid_argument("Vm: workload must not be null");
+}
+
+void Vm::start(double now_s) {
+  if (state_ == VmState::kRunning) return;
+  state_ = VmState::kRunning;
+  started_at_s_ = now_s;
+  refresh(now_s);
+}
+
+void Vm::stop() {
+  state_ = VmState::kStopped;
+  observed_state_ = common::StateVector::zero();
+}
+
+void Vm::refresh(double now_s) {
+  if (state_ != VmState::kRunning) {
+    observed_state_ = common::StateVector::zero();
+    return;
+  }
+  observed_state_ = workload_->demand(now_s - started_at_s_).clamped();
+}
+
+void Vm::bind_workload(wl::WorkloadPtr workload) {
+  if (workload == nullptr)
+    throw std::invalid_argument("Vm::bind_workload: workload must not be null");
+  workload_ = std::move(workload);
+}
+
+}  // namespace vmp::sim

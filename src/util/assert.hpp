@@ -1,0 +1,30 @@
+// Internal invariant checking for the vmpower libraries.
+//
+// VMP_ASSERT guards *internal* invariants (bugs in this library); violations
+// abort with a diagnostic. API misuse by callers is reported with exceptions
+// (std::invalid_argument / std::out_of_range) at the public boundary instead —
+// see the C++ Core Guidelines I.5/I.6 split between preconditions on callers
+// and internal consistency checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vmp::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "vmpower: invariant violated: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace vmp::util
+
+#define VMP_ASSERT(expr)                                                \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::vmp::util::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define VMP_ASSERT_MSG(expr, msg)                                    \
+  ((expr) ? static_cast<void>(0)                                     \
+          : ::vmp::util::assert_fail(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,109 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmp::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+CliArgs::CliArgs(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void CliArgs::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (key.empty()) throw std::invalid_argument("CliArgs: bare '--'");
+      const bool next_is_value =
+          i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0;
+      if (next_is_value) {
+        options_[key] = tokens[++i];
+      } else {
+        options_[key] = "";  // flag
+      }
+    } else {
+      positionals_.push_back(token);
+    }
+  }
+}
+
+std::string CliArgs::command() const {
+  return positionals_.empty() ? std::string{} : positionals_.front();
+}
+
+bool CliArgs::has(const std::string& key) const noexcept {
+  return options_.contains(key);
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it != options_.end() ? it->second : fallback;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CliArgs: --" + key +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+long CliArgs::get_long(const std::string& key, long fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CliArgs: --" + key +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+std::string CliArgs::require(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty())
+    throw std::invalid_argument("CliArgs: missing required option --" + key);
+  return it->second;
+}
+
+std::vector<std::string> CliArgs::unknown_keys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [key, _] : options_)
+    if (std::find(known.begin(), known.end(), key) == known.end())
+      out.push_back(key);
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size() && !text.empty()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace vmp::util

@@ -1,0 +1,57 @@
+// Minimal command-line argument parsing for the tools/ binaries.
+//
+// Supports the conventional subcommand shape
+//     vmpower <command> --key value --flag positional...
+// with typed accessors and defaults. Unknown keys are detectable so tools
+// can reject typos instead of silently ignoring them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vmp::util {
+
+class CliArgs {
+ public:
+  /// Parses argv[1..). Tokens beginning with "--" are options; an option is
+  /// a flag when the next token is absent or also an option, otherwise it
+  /// consumes the next token as its value. Everything else is positional.
+  CliArgs(int argc, const char* const* argv);
+  explicit CliArgs(const std::vector<std::string>& tokens);
+
+  /// First positional argument (the subcommand), empty if none.
+  [[nodiscard]] std::string command() const;
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+  /// String option, or `fallback` when absent. A flag (no value) returns "".
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  /// Numeric options; throw std::invalid_argument when present but
+  /// unparseable.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const;
+
+  /// Required option: throws std::invalid_argument with a usage-style
+  /// message when absent or empty.
+  [[nodiscard]] std::string require(const std::string& key) const;
+
+  /// Keys that were provided but are not in `known` — for typo detection.
+  [[nodiscard]] std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positionals_;
+};
+
+/// Splits "a,b,c" into {"a","b","c"}; empty input gives an empty vector.
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& text);
+
+}  // namespace vmp::util

@@ -1,0 +1,78 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vmp::util {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path,
+                     std::vector<std::string> columns)
+    : path_(path), columns_(columns.size()) {
+  if (columns.empty())
+    throw std::invalid_argument("CsvWriter: need at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) buffer_ += ',';
+    buffer_ += columns[i];
+  }
+  buffer_ += '\n';
+}
+
+CsvWriter::~CsvWriter() {
+  // Flush on destruction; failures here cannot throw (dtor), so report once
+  // to stderr. Callers needing hard guarantees should keep files small and
+  // check rows_written().
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out || !(out << buffer_)) {
+    std::fprintf(stderr, "vmpower: failed to write CSV %s\n",
+                 path_.string().c_str());
+  }
+}
+
+void CsvWriter::write_row(std::span<const double> values) {
+  if (values.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  char cell[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) buffer_ += ',';
+    std::snprintf(cell, sizeof cell, "%.12g", values[i]);
+    buffer_ += cell;
+  }
+  buffer_ += '\n';
+  ++rows_;
+}
+
+CsvData read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path.string());
+  CsvData data;
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("read_csv: empty file " + path.string());
+  std::stringstream header(line);
+  std::string cell;
+  while (std::getline(header, cell, ',')) data.columns.push_back(cell);
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    row.reserve(data.columns.size());
+    std::stringstream fields(line);
+    while (std::getline(fields, cell, ',')) {
+      double value = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(cell.data(), cell.data() + cell.size(), value);
+      if (ec != std::errc{} || ptr != cell.data() + cell.size())
+        throw std::runtime_error("read_csv: non-numeric cell '" + cell + "'");
+      row.push_back(value);
+    }
+    if (row.size() != data.columns.size())
+      throw std::runtime_error("read_csv: ragged row in " + path.string());
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+}  // namespace vmp::util

@@ -1,0 +1,47 @@
+// Minimal CSV reading/writing for experiment artifacts.
+//
+// Bench binaries dump raw series (power traces, per-sample errors) next to
+// their printed tables so the figures can be re-plotted externally. The
+// format is deliberately plain: comma separator, no quoting of numeric data,
+// header row of column names.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vmp::util {
+
+/// Streams rows of doubles (plus a header) into a CSV file. Throws
+/// std::runtime_error if the file cannot be opened/written.
+class CsvWriter {
+ public:
+  CsvWriter(const std::filesystem::path& path, std::vector<std::string> columns);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; throws std::invalid_argument if the width differs from
+  /// the header.
+  void write_row(std::span<const double> values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::string buffer_;
+  std::filesystem::path path_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+struct CsvData {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Reads a numeric CSV written by CsvWriter. Throws std::runtime_error on I/O
+/// failure or non-numeric cells.
+[[nodiscard]] CsvData read_csv(const std::filesystem::path& path);
+
+}  // namespace vmp::util

@@ -1,0 +1,72 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vmp::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::bin(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_hi");
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::cumulative_fraction(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::cumulative_fraction");
+  if (total_ == 0) return 0.0;
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b <= i; ++b) cum += counts_[b];
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::string out;
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char head[96];
+    std::snprintf(head, sizeof head, "[%8.4f, %8.4f) %6zu ", bin_lo(i), bin_hi(i),
+                  counts_[i]);
+    out += head;
+    const std::size_t len =
+        peak == 0 ? 0 : counts_[i] * bar_width / std::max<std::size_t>(peak, 1);
+    out.append(len, '#');
+    char tail[48];
+    std::snprintf(tail, sizeof tail, "  cdf=%.3f\n", cumulative_fraction(i));
+    out += tail;
+  }
+  return out;
+}
+
+}  // namespace vmp::util

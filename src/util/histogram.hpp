@@ -1,0 +1,45 @@
+// Fixed-width histogram with ASCII rendering.
+//
+// Used by the bench binaries to print error distributions and CDFs the way
+// the paper plots Fig. 10(c), in a form readable on a terminal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vmp::util {
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples are clamped
+/// into the first/last bin so totals are preserved.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bin(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Fraction of all samples at or below the upper edge of bin i.
+  [[nodiscard]] double cumulative_fraction(std::size_t i) const;
+
+  /// Multi-line ASCII rendering: one row per bin with a proportional bar and
+  /// the cumulative fraction (an on-terminal CDF).
+  [[nodiscard]] std::string render(std::size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vmp::util

@@ -1,0 +1,100 @@
+#include "util/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::util {
+
+namespace {
+
+/// In-place Householder QR on the augmented matrix [A | b]; returns the
+/// solution of the triangular system and the residual norm.
+LeastSquaresResult qr_solve(Matrix work, std::size_t n_cols) {
+  const std::size_t m = work.rows();
+  const std::size_t n = n_cols;          // unknowns; last column of work is b.
+  LeastSquaresResult result;
+  result.coefficients.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder reflection to zero out column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += work(i, k) * work(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;  // zero column: rank deficient, handled later.
+    // The reflector is numerically stable only when norm carries the sign of
+    // the diagonal entry (so the division below lands in (0, 1]).
+    if (work(k, k) < 0.0) norm = -norm;
+    for (std::size_t i = k; i < m; ++i) work(i, k) /= norm;
+    work(k, k) += 1.0;
+    for (std::size_t j = k + 1; j <= n; ++j) {  // includes augmented b column
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += work(i, k) * work(i, j);
+      s = -s / work(k, k);
+      for (std::size_t i = k; i < m; ++i) work(i, j) += s * work(i, k);
+    }
+    work(k, k) = -norm;  // R's diagonal (JAMA convention)
+  }
+
+  // Back-substitution on R x = Q^T b (upper triangle now lives above/on the
+  // diagonal with the diagonal stashed in work(k,k)).
+  const double tiny = 1e-12;
+  for (std::size_t kk = n; kk-- > 0;) {
+    double diag = work(kk, kk);
+    if (std::abs(diag) < tiny) {
+      result.rank_deficient = true;
+      result.coefficients[kk] = 0.0;
+      continue;
+    }
+    double s = work(kk, n);
+    for (std::size_t j = kk + 1; j < n; ++j)
+      s -= work(kk, j) * result.coefficients[j];
+    result.coefficients[kk] = s / diag;
+  }
+
+  // Residual: remaining entries of Q^T b below row n.
+  double res = 0.0;
+  for (std::size_t i = n; i < m; ++i) res += work(i, n) * work(i, n);
+  result.residual_norm = std::sqrt(res);
+  return result;
+}
+
+}  // namespace
+
+LeastSquaresResult solve_least_squares(const Matrix& a, std::span<const double> b) {
+  if (a.rows() == 0 || a.cols() == 0)
+    throw std::invalid_argument("solve_least_squares: empty system");
+  if (a.rows() < a.cols())
+    throw std::invalid_argument(
+        "solve_least_squares: underdetermined system (rows < cols)");
+  if (b.size() != a.rows())
+    throw std::invalid_argument("solve_least_squares: b size mismatch");
+
+  Matrix work(a.rows(), a.cols() + 1);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) work(r, c) = a(r, c);
+    work(r, a.cols()) = b[r];
+  }
+  return qr_solve(std::move(work), a.cols());
+}
+
+LeastSquaresResult solve_ridge(const Matrix& a, std::span<const double> b,
+                               double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("solve_ridge: lambda < 0");
+  if (lambda == 0.0) return solve_least_squares(a, b);
+  if (b.size() != a.rows())
+    throw std::invalid_argument("solve_ridge: b size mismatch");
+
+  // Augment with sqrt(lambda) * I rows and zero targets.
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix work(m + n, n + 1);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) work(r, c) = a(r, c);
+    work(r, n) = b[r];
+  }
+  const double s = std::sqrt(lambda);
+  for (std::size_t i = 0; i < n; ++i) work(m + i, i) = s;
+  return qr_solve(std::move(work), n);
+}
+
+}  // namespace vmp::util

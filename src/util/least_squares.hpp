@@ -1,0 +1,40 @@
+// Linear least squares for the VHC power-mapping fit (paper Sec. V-C).
+//
+// The approximation step of the paper fits, per VHC combination, a set of
+// power-mapping vectors w_j minimizing  Σ || v(S,C) − Σ_j w_j·v_j ||  over the
+// partially-measured coalition powers. Stacking the per-sample aggregated VHC
+// state vectors row-wise gives an ordinary least-squares problem  min ||Aw−b||.
+// We solve it with Householder QR (numerically robust for the well-conditioned
+// tall systems that arise here) and offer an optional ridge term for
+// ill-conditioned fits (e.g. when two VHCs' states are collinear because they
+// ran in lock-step during offline collection).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace vmp::util {
+
+struct LeastSquaresResult {
+  std::vector<double> coefficients;
+  double residual_norm = 0.0;  ///< ||A x - b||_2 at the solution.
+  bool rank_deficient = false; ///< True if a tiny pivot was regularized away.
+};
+
+/// Solves min_x ||A x - b||_2 via Householder QR.
+///
+/// Requires A.rows() >= A.cols() and b.size() == A.rows(); throws
+/// std::invalid_argument otherwise. Rank-deficient columns receive a zero
+/// coefficient and the result is flagged.
+[[nodiscard]] LeastSquaresResult solve_least_squares(const Matrix& a,
+                                                     std::span<const double> b);
+
+/// Ridge regression: min_x ||A x - b||^2 + lambda ||x||^2, solved through the
+/// augmented QR system. lambda must be >= 0.
+[[nodiscard]] LeastSquaresResult solve_ridge(const Matrix& a,
+                                             std::span<const double> b,
+                                             double lambda);
+
+}  // namespace vmp::util

@@ -1,0 +1,41 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace vmp::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[vmpower %s] ", to_string(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+
+}  // namespace vmp::util

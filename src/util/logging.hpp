@@ -1,0 +1,27 @@
+// Leveled logging for long-running simulations and the estimation daemon
+// examples. Intentionally tiny: a global level, printf-style sinks to stderr,
+// no allocation on the fast (filtered-out) path.
+#pragma once
+
+#include <string_view>
+
+namespace vmp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets / reads the process-wide log level (default kWarn so tests stay quiet).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+}  // namespace vmp::util
+
+#define VMP_LOG_DEBUG(...) ::vmp::util::detail::vlog(::vmp::util::LogLevel::kDebug, __VA_ARGS__)
+#define VMP_LOG_INFO(...)  ::vmp::util::detail::vlog(::vmp::util::LogLevel::kInfo, __VA_ARGS__)
+#define VMP_LOG_WARN(...)  ::vmp::util::detail::vlog(::vmp::util::LogLevel::kWarn, __VA_ARGS__)
+#define VMP_LOG_ERROR(...) ::vmp::util::detail::vlog(::vmp::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,63 @@
+// Small dense matrix used by the VHC linear approximation.
+//
+// The regression problems in this codebase are tiny (design matrices of a few
+// thousand rows by at most ~20 columns: r VHCs x k component states), so a
+// straightforward row-major dense matrix with Householder QR is both simpler
+// and faster than pulling in a linear-algebra dependency.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace vmp::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// From nested initializer list; throws std::invalid_argument on ragged rows.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked element access (hot path); bounds are asserted in debug.
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept;
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept;
+
+  /// Checked element access; throws std::out_of_range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(std::span<const double> v) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double s) noexcept;
+
+  /// Max-abs-element norm, used by tests.
+  [[nodiscard]] double max_abs() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product; throws std::invalid_argument on size mismatch.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace vmp::util

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace vmp::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += (x - m) * (x - m);
+  return sum_sq / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double relative_error(double estimate, double truth, double floor) noexcept {
+  const double denom = std::max(std::abs(truth), std::abs(floor));
+  return std::abs(estimate - truth) / denom;
+}
+
+double ecdf(std::span<const double> xs, double x) noexcept {
+  if (xs.empty()) return 0.0;
+  std::size_t below_or_equal = 0;
+  for (double v : xs)
+    if (v <= x) ++below_or_equal;
+  return static_cast<double>(below_or_equal) / static_cast<double>(xs.size());
+}
+
+double fraction_below(std::span<const double> xs, double threshold) noexcept {
+  if (xs.empty()) return 0.0;
+  std::size_t below = 0;
+  for (double v : xs)
+    if (v < threshold) ++below;
+  return static_cast<double>(below) / static_cast<double>(xs.size());
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+std::string Summary::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.4f std=%.4f min=%.4f p50=%.4f p90=%.4f "
+                "p95=%.4f max=%.4f",
+                count, mean, stddev, min, p50, p90, p95, max);
+  return buf;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  s.p50 = percentile(xs, 50.0);
+  s.p90 = percentile(xs, 90.0);
+  s.p95 = percentile(xs, 95.0);
+  return s;
+}
+
+}  // namespace vmp::util

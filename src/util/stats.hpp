@@ -1,0 +1,87 @@
+// Descriptive statistics used throughout the evaluation harness.
+//
+// The paper reports average relative errors, maximum relative errors and the
+// CDF of relative errors (Fig. 10(c)); this header provides those primitives
+// plus incremental (Welford) accumulation for streaming series.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vmp::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than two samples.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// Linear-interpolation percentile; p in [0, 100]. Throws std::invalid_argument
+/// on empty input or p outside [0, 100].
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+[[nodiscard]] inline double median(std::span<const double> xs) {
+  return percentile(xs, 50.0);
+}
+
+/// |estimate - truth| / |truth|, with a guard: when |truth| < floor the error
+/// is computed against the floor so near-zero truths do not explode the
+/// statistic (the paper's relative errors are against multi-watt powers; the
+/// floor only matters for idle corner cases).
+[[nodiscard]] double relative_error(double estimate, double truth,
+                                    double floor = 1e-9) noexcept;
+
+/// Empirical CDF evaluated at x: fraction of samples <= x.
+[[nodiscard]] double ecdf(std::span<const double> xs, double x) noexcept;
+
+/// Fraction of samples strictly below the threshold.
+[[nodiscard]] double fraction_below(std::span<const double> xs,
+                                    double threshold) noexcept;
+
+/// Streaming mean/variance accumulator (Welford's algorithm); numerically
+/// stable for long 1 Hz power traces.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-line summary of a sample (count/mean/std/min/p50/p90/p95/max); used by
+/// the bench binaries when printing error distributions.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace vmp::util

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vmp::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("TablePrinter: need at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::pct(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string rule = "+";
+  for (std::size_t w : widths) {
+    rule.append(w + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::string out = rule + render_row(headers_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+void TablePrinter::print() const { std::fputs(render().c_str(), stdout); }
+
+void print_banner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace vmp::util

@@ -1,0 +1,37 @@
+// ASCII table rendering for the bench binaries.
+//
+// Every reproduction bench prints the same rows the paper's table/figure
+// reports; TablePrinter keeps that output aligned and consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vmp::util {
+
+/// Builds a right-padded ASCII table with a header rule. Cells are strings;
+/// numeric helpers format with fixed precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given number of decimals.
+  [[nodiscard]] static std::string num(double value, int decimals = 2);
+  /// Formats a ratio as a percentage string, e.g. 0.4615 -> "46.15%".
+  [[nodiscard]] static std::string pct(double ratio, int decimals = 2);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used between experiment blocks.
+void print_banner(const std::string& title);
+
+}  // namespace vmp::util

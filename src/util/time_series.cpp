@@ -1,0 +1,60 @@
+#include "util/time_series.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::util {
+
+TimeSeries::TimeSeries(double start_s, double period_s)
+    : start_s_(start_s), period_s_(period_s) {
+  if (!(period_s > 0.0))
+    throw std::invalid_argument("TimeSeries: period must be positive");
+}
+
+void TimeSeries::push(double value) { values_.push_back(value); }
+
+double TimeSeries::time_at(std::size_t i) const {
+  if (i >= values_.size()) throw std::out_of_range("TimeSeries::time_at");
+  return start_s_ + period_s_ * static_cast<double>(i);
+}
+
+double TimeSeries::value_at(std::size_t i) const {
+  if (i >= values_.size()) throw std::out_of_range("TimeSeries::value_at");
+  return values_[i];
+}
+
+double TimeSeries::sample_at(double t) const {
+  if (values_.empty()) throw std::out_of_range("TimeSeries::sample_at: empty");
+  if (t < start_s_)
+    throw std::out_of_range("TimeSeries::sample_at: before first sample");
+  auto idx = static_cast<std::size_t>(std::floor((t - start_s_) / period_s_));
+  if (idx >= values_.size()) idx = values_.size() - 1;
+  return values_[idx];
+}
+
+double TimeSeries::integrate() const noexcept {
+  if (values_.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < values_.size(); ++i)
+    sum += 0.5 * (values_[i - 1] + values_[i]) * period_s_;
+  return sum;
+}
+
+TimeSeries TimeSeries::operator-(const TimeSeries& other) const {
+  if (period_s_ != other.period_s_)
+    throw std::invalid_argument("TimeSeries subtract: period mismatch");
+  TimeSeries out(start_s_, period_s_);
+  const std::size_t n = std::min(values_.size(), other.values_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push(values_[i] - other.values_[i]);
+  return out;
+}
+
+TimeSeries TimeSeries::shifted(double offset) const {
+  TimeSeries out(start_s_, period_s_);
+  out.reserve(values_.size());
+  for (double v : values_) out.push(v + offset);
+  return out;
+}
+
+}  // namespace vmp::util

@@ -1,0 +1,63 @@
+// Uniformly-sampled time series (the 1 Hz traces of the prototype).
+//
+// Both the power meter and the dstat-style VM telemetry produce fixed-rate
+// samples; TimeSeries keeps the start time and period explicit so series from
+// different sources can be aligned sample-by-sample the way the prototype's
+// estimation loop pairs "VM states at second t" with "meter reading at t".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vmp::util {
+
+/// Uniformly sampled scalar time series.
+class TimeSeries {
+ public:
+  /// period_s must be > 0; throws std::invalid_argument otherwise.
+  explicit TimeSeries(double start_s = 0.0, double period_s = 1.0);
+
+  void push(double value);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double start() const noexcept { return start_s_; }
+  [[nodiscard]] double period() const noexcept { return period_s_; }
+
+  /// Timestamp of sample i (start + i * period); throws std::out_of_range.
+  [[nodiscard]] double time_at(std::size_t i) const;
+  [[nodiscard]] double value_at(std::size_t i) const;
+  [[nodiscard]] double operator[](std::size_t i) const noexcept {
+    return values_[i];
+  }
+
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+
+  /// Value at an arbitrary time via zero-order hold (last sample at or before
+  /// t); throws std::out_of_range if t precedes the first sample or the
+  /// series is empty.
+  [[nodiscard]] double sample_at(double t) const;
+
+  /// Trapezoidal integral of the series over its whole span, in value*seconds.
+  /// For a power series in watts this is energy in joules.
+  [[nodiscard]] double integrate() const noexcept;
+
+  /// Element-wise difference (this - other), truncated to the shorter length;
+  /// requires equal periods (throws std::invalid_argument otherwise).
+  [[nodiscard]] TimeSeries operator-(const TimeSeries& other) const;
+
+  /// Returns a copy with `offset` added to every sample (e.g. idle-power
+  /// adjustment).
+  [[nodiscard]] TimeSeries shifted(double offset) const;
+
+ private:
+  double start_s_;
+  double period_s_;
+  std::vector<double> values_;
+};
+
+}  // namespace vmp::util

@@ -1,0 +1,86 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vmp::wl {
+
+using common::StateVector;
+
+OnOffWorkload::OnOffWorkload(double busy_util, double on_s, double off_s,
+                             double idle_util, double intensity)
+    : busy_util_(busy_util), idle_util_(idle_util), on_s_(on_s), off_s_(off_s),
+      intensity_(intensity) {
+  if (busy_util < 0.0 || busy_util > 1.0 || idle_util < 0.0 || idle_util > 1.0)
+    throw std::invalid_argument("OnOffWorkload: utilizations must be in [0,1]");
+  if (!(on_s > 0.0) || !(off_s > 0.0))
+    throw std::invalid_argument("OnOffWorkload: phase lengths must be > 0");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("OnOffWorkload: intensity must be > 0");
+}
+
+StateVector OnOffWorkload::demand(double t) {
+  if (t < 0.0) t = 0.0;
+  const double phase = std::fmod(t, on_s_ + off_s_);
+  return StateVector::cpu_only(phase < on_s_ ? busy_util_ : idle_util_);
+}
+
+PoissonBurstWorkload::PoissonBurstWorkload(double rate_per_s,
+                                           double util_per_request,
+                                           std::uint64_t seed, double intensity)
+    : rate_per_s_(rate_per_s), util_per_request_(util_per_request), rng_(seed),
+      intensity_(intensity) {
+  if (!(rate_per_s > 0.0))
+    throw std::invalid_argument("PoissonBurstWorkload: rate must be > 0");
+  if (!(util_per_request > 0.0))
+    throw std::invalid_argument(
+        "PoissonBurstWorkload: util_per_request must be > 0");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("PoissonBurstWorkload: intensity must be > 0");
+}
+
+StateVector PoissonBurstWorkload::demand(double t) {
+  const auto second = static_cast<std::int64_t>(std::floor(t));
+  if (second != last_second_) {
+    // Knuth's bounded Poisson sampler — rate_per_s is small (tens at most)
+    // in every realistic configuration, so the loop is short.
+    const double limit = std::exp(-rate_per_s_);
+    double product = rng_.uniform();
+    unsigned arrivals = 0;
+    while (product > limit && arrivals < 10000) {
+      product *= rng_.uniform();
+      ++arrivals;
+    }
+    level_ = std::min(1.0, static_cast<double>(arrivals) * util_per_request_);
+    last_second_ = second;
+  }
+  return StateVector::cpu_only(level_);
+}
+
+DiurnalWorkload::DiurnalWorkload(double night_util, double peak_util,
+                                 double day_length_s, std::uint64_t seed,
+                                 double intensity)
+    : night_util_(night_util), peak_util_(peak_util),
+      day_length_s_(day_length_s), rng_(seed), intensity_(intensity) {
+  if (night_util < 0.0 || peak_util > 1.0 || night_util > peak_util)
+    throw std::invalid_argument(
+        "DiurnalWorkload: need 0 <= night <= peak <= 1");
+  if (!(day_length_s > 0.0))
+    throw std::invalid_argument("DiurnalWorkload: day length must be > 0");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("DiurnalWorkload: intensity must be > 0");
+}
+
+StateVector DiurnalWorkload::demand(double t) {
+  // Raised cosine with trough at t=0 ("midnight") and crest mid-"day".
+  const double phase = 2.0 * std::numbers::pi * t / day_length_s_;
+  const double base =
+      night_util_ +
+      (peak_util_ - night_util_) * 0.5 * (1.0 - std::cos(phase));
+  const double noisy = base + rng_.normal(0.0, 0.02);
+  return StateVector::cpu_only(std::clamp(noisy, 0.0, 1.0));
+}
+
+}  // namespace vmp::wl

@@ -1,0 +1,92 @@
+// Datacenter-flavoured load patterns beyond the paper's benchmarks: duty
+// cycles (batch jobs), Poisson request bursts (interactive services), and a
+// compressed diurnal curve (tenant day/night rhythm). Used by the cluster
+// scenarios and available to downstream users for their own studies.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace vmp::wl {
+
+/// Square-wave duty cycle: `busy_util` for on_s seconds, `idle_util` for
+/// off_s seconds, repeating — the shape of periodic batch work.
+class OnOffWorkload final : public Workload {
+ public:
+  /// Throws std::invalid_argument on non-positive phase lengths or
+  /// out-of-range utilizations.
+  OnOffWorkload(double busy_util, double on_s, double off_s,
+                double idle_util = 0.0, double intensity = 1.0);
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "on_off";
+  }
+
+ private:
+  double busy_util_;
+  double idle_util_;
+  double on_s_;
+  double off_s_;
+  double intensity_;
+};
+
+/// Interactive-service load: requests arrive as a Poisson process; each
+/// second's utilization is the offered load (arrivals x per-request cost)
+/// clamped to capacity. Produces the ragged, bursty traces request-serving
+/// VMs show in practice.
+class PoissonBurstWorkload final : public Workload {
+ public:
+  /// rate_per_s > 0: mean arrivals per second; util_per_request > 0: CPU
+  /// fraction consumed per arrival.
+  PoissonBurstWorkload(double rate_per_s, double util_per_request,
+                       std::uint64_t seed, double intensity = 1.0);
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "poisson_burst";
+  }
+
+ private:
+  double rate_per_s_;
+  double util_per_request_;
+  util::Rng rng_;
+  double intensity_;
+  double level_ = 0.0;
+  std::int64_t last_second_ = -1;
+};
+
+/// Compressed diurnal rhythm: a day of tenant load squeezed into
+/// `day_length_s` seconds — low at "night", peaking in the "afternoon",
+/// with small per-second noise.
+class DiurnalWorkload final : public Workload {
+ public:
+  /// night/peak utils in [0,1] with night <= peak; day_length_s > 0.
+  DiurnalWorkload(double night_util, double peak_util, double day_length_s,
+                  std::uint64_t seed, double intensity = 1.0);
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "diurnal";
+  }
+
+ private:
+  double night_util_;
+  double peak_util_;
+  double day_length_s_;
+  util::Rng rng_;
+  double intensity_;
+};
+
+}  // namespace vmp::wl

@@ -1,0 +1,108 @@
+#include "workload/primitives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vmp::wl {
+
+using common::Component;
+using common::StateVector;
+
+ConstantWorkload::ConstantWorkload(StateVector state, double intensity,
+                                   std::string name)
+    : state_(state), intensity_(intensity), name_(std::move(name)) {
+  if (!state.is_normalized())
+    throw std::invalid_argument("ConstantWorkload: state must be in [0,1]^k");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("ConstantWorkload: intensity must be > 0");
+}
+
+StepWorkload::StepWorkload(std::vector<Phase> phases, bool loop, double intensity,
+                           std::string name)
+    : phases_(std::move(phases)), loop_(loop), total_(0.0), intensity_(intensity),
+      name_(std::move(name)) {
+  if (phases_.empty())
+    throw std::invalid_argument("StepWorkload: empty schedule");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("StepWorkload: intensity must be > 0");
+  for (const auto& phase : phases_) {
+    if (!(phase.duration_s > 0.0))
+      throw std::invalid_argument("StepWorkload: phase durations must be > 0");
+    if (!phase.state.is_normalized())
+      throw std::invalid_argument("StepWorkload: phase state must be in [0,1]^k");
+    total_ += phase.duration_s;
+  }
+}
+
+StateVector StepWorkload::demand(double t) {
+  if (t < 0.0) t = 0.0;
+  if (loop_) t = std::fmod(t, total_);
+  double elapsed = 0.0;
+  for (const auto& phase : phases_) {
+    elapsed += phase.duration_s;
+    if (t < elapsed) return phase.state;
+  }
+  return phases_.back().state;
+}
+
+RampWorkload::RampWorkload(double from, double to, double duration_s,
+                           double intensity)
+    : from_(from), to_(to), duration_s_(duration_s), intensity_(intensity) {
+  if (from < 0.0 || from > 1.0 || to < 0.0 || to > 1.0)
+    throw std::invalid_argument("RampWorkload: endpoints must be in [0,1]");
+  if (!(duration_s > 0.0))
+    throw std::invalid_argument("RampWorkload: duration must be > 0");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("RampWorkload: intensity must be > 0");
+}
+
+StateVector RampWorkload::demand(double t) {
+  const double frac = std::clamp(t / duration_s_, 0.0, 1.0);
+  return StateVector::cpu_only(from_ + (to_ - from_) * frac);
+}
+
+SineWorkload::SineWorkload(double mean, double amplitude, double period_s,
+                           double intensity, double phase_rad)
+    : mean_(mean), amplitude_(amplitude), period_s_(period_s),
+      intensity_(intensity), phase_(phase_rad) {
+  if (!(period_s > 0.0))
+    throw std::invalid_argument("SineWorkload: period must be > 0");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("SineWorkload: intensity must be > 0");
+}
+
+StateVector SineWorkload::demand(double t) {
+  const double u =
+      mean_ + amplitude_ * std::sin(2.0 * std::numbers::pi * t / period_s_ + phase_);
+  return StateVector::cpu_only(std::clamp(u, 0.0, 1.0));
+}
+
+RandomWalkWorkload::RandomWalkWorkload(double mean, double volatility,
+                                       double reversion, std::uint64_t seed,
+                                       double intensity)
+    : mean_(mean), volatility_(volatility), reversion_(reversion), level_(mean),
+      rng_(seed), intensity_(intensity) {
+  if (mean < 0.0 || mean > 1.0)
+    throw std::invalid_argument("RandomWalkWorkload: mean must be in [0,1]");
+  if (volatility < 0.0)
+    throw std::invalid_argument("RandomWalkWorkload: volatility must be >= 0");
+  if (reversion < 0.0 || reversion > 1.0)
+    throw std::invalid_argument("RandomWalkWorkload: reversion must be in [0,1]");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("RandomWalkWorkload: intensity must be > 0");
+}
+
+StateVector RandomWalkWorkload::demand(double t) {
+  // Advance one step per whole elapsed second since the last query.
+  if (last_t_ < 0.0) last_t_ = t;
+  while (last_t_ + 1.0 <= t) {
+    level_ += reversion_ * (mean_ - level_) + rng_.normal(0.0, volatility_);
+    level_ = std::clamp(level_, 0.0, 1.0);
+    last_t_ += 1.0;
+  }
+  return StateVector::cpu_only(level_);
+}
+
+}  // namespace vmp::wl

@@ -1,0 +1,134 @@
+// Elementary workload shapes used to compose scenarios and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace vmp::wl {
+
+/// A VM doing nothing (all components zero) — the paper's "idle VM" whose
+/// Shapley share must be zero by the Dummy axiom.
+class IdleWorkload final : public Workload {
+ public:
+  [[nodiscard]] common::StateVector demand(double) override { return {}; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "idle"; }
+};
+
+/// Constant component state with a fixed instruction-mix intensity.
+class ConstantWorkload final : public Workload {
+ public:
+  /// Throws std::invalid_argument if state is not normalized or intensity<=0.
+  explicit ConstantWorkload(common::StateVector state, double intensity = 1.0,
+                            std::string name = "constant");
+
+  [[nodiscard]] common::StateVector demand(double) override { return state_; }
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+ private:
+  common::StateVector state_;
+  double intensity_;
+  std::string name_;
+};
+
+/// Piecewise-constant schedule: a list of (duration, state) phases, optionally
+/// looping. Holds the last state forever when not looping.
+class StepWorkload final : public Workload {
+ public:
+  struct Phase {
+    double duration_s = 0.0;
+    common::StateVector state;
+  };
+
+  /// Throws std::invalid_argument on an empty schedule or non-positive phase
+  /// durations.
+  StepWorkload(std::vector<Phase> phases, bool loop = false,
+               double intensity = 1.0, std::string name = "step");
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] double total_duration() const noexcept { return total_; }
+
+ private:
+  std::vector<Phase> phases_;
+  bool loop_;
+  double total_;
+  double intensity_;
+  std::string name_;
+};
+
+/// CPU utilization ramping linearly from `from` to `to` over `duration_s`,
+/// then holding `to`.
+class RampWorkload final : public Workload {
+ public:
+  RampWorkload(double from, double to, double duration_s, double intensity = 1.0);
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "ramp"; }
+
+ private:
+  double from_;
+  double to_;
+  double duration_s_;
+  double intensity_;
+};
+
+/// Sinusoidal CPU utilization: mean + amplitude * sin(2*pi*t/period), clamped
+/// to [0, 1]. Models diurnal-style load in compressed time.
+class SineWorkload final : public Workload {
+ public:
+  /// Throws std::invalid_argument if period <= 0.
+  SineWorkload(double mean, double amplitude, double period_s,
+               double intensity = 1.0, double phase_rad = 0.0);
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "sine"; }
+
+ private:
+  double mean_;
+  double amplitude_;
+  double period_s_;
+  double intensity_;
+  double phase_;
+};
+
+/// Mean-reverting random walk over CPU utilization (Ornstein-Uhlenbeck style,
+/// discretized per second); used for load that meanders realistically.
+class RandomWalkWorkload final : public Workload {
+ public:
+  RandomWalkWorkload(double mean, double volatility, double reversion,
+                     std::uint64_t seed, double intensity = 1.0);
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "random_walk";
+  }
+
+ private:
+  double mean_;
+  double volatility_;
+  double reversion_;
+  double level_;
+  double last_t_ = -1.0;
+  util::Rng rng_;
+  double intensity_;
+};
+
+}  // namespace vmp::wl

@@ -1,0 +1,47 @@
+#include "workload/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::wl {
+
+SyntheticRandomCpu::SyntheticRandomCpu(std::uint64_t seed, double dwell_s,
+                                       double lo, double hi)
+    : rng_(seed), dwell_s_(dwell_s), lo_(lo), hi_(hi), level_(0.0) {
+  if (!(dwell_s > 0.0))
+    throw std::invalid_argument("SyntheticRandomCpu: dwell must be > 0");
+  if (lo < 0.0 || hi > 1.0 || lo > hi)
+    throw std::invalid_argument("SyntheticRandomCpu: need 0 <= lo <= hi <= 1");
+  level_ = rng_.uniform(lo_, hi_);
+}
+
+common::StateVector SyntheticRandomCpu::demand(double t) {
+  const auto epoch = static_cast<std::int64_t>(std::floor(t / dwell_s_));
+  if (epoch != epoch_) {
+    // Redraw once per dwell epoch. Epochs may be skipped when sampled
+    // coarsely; each query draws a fresh level for its epoch, which keeps the
+    // marginal distribution uniform regardless of the sampling cadence.
+    level_ = rng_.uniform(lo_, hi_);
+    epoch_ = epoch;
+  }
+  return common::StateVector::cpu_only(level_);
+}
+
+SyntheticRandomState::SyntheticRandomState(std::uint64_t seed, double dwell_s)
+    : rng_(seed), dwell_s_(dwell_s) {
+  if (!(dwell_s > 0.0))
+    throw std::invalid_argument("SyntheticRandomState: dwell must be > 0");
+}
+
+common::StateVector SyntheticRandomState::demand(double t) {
+  const auto epoch = static_cast<std::int64_t>(std::floor(t / dwell_s_));
+  if (epoch != epoch_) {
+    state_[common::Component::kCpu] = rng_.uniform();
+    state_[common::Component::kMemory] = rng_.uniform();
+    state_[common::Component::kDiskIo] = rng_.uniform(0.0, 0.5);
+    epoch_ = epoch;
+  }
+  return state_;
+}
+
+}  // namespace vmp::wl

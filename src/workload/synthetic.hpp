@@ -1,0 +1,70 @@
+// The paper's calibration workloads (Sec. III-B, Table V).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace vmp::wl {
+
+/// The paper's synthetic benchmark that "randomly consumes CPU cycles": the
+/// CPU utilization is redrawn uniformly from [lo, hi] every `dwell_s` seconds.
+/// Used to measure the v(S, C) samples during offline data collection; its
+/// instruction mix defines the unit power intensity.
+class SyntheticRandomCpu final : public Workload {
+ public:
+  /// Throws std::invalid_argument if dwell_s <= 0 or [lo, hi] not a valid
+  /// sub-interval of [0, 1].
+  explicit SyntheticRandomCpu(std::uint64_t seed, double dwell_s = 5.0,
+                              double lo = 0.0, double hi = 1.0);
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "synthetic_random_cpu";
+  }
+
+ private:
+  util::Rng rng_;
+  double dwell_s_;
+  double lo_;
+  double hi_;
+  double level_;
+  std::int64_t epoch_ = -1;
+};
+
+/// Extended calibration workload: redraws *all* component states (CPU,
+/// memory, disk I/O) uniformly every dwell epoch. Used when the offline
+/// collector should give the regression coverage over non-CPU components too
+/// (the paper's collector only randomizes CPU; see CollectionOptions).
+class SyntheticRandomState final : public Workload {
+ public:
+  explicit SyntheticRandomState(std::uint64_t seed, double dwell_s = 5.0);
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "synthetic_random_state";
+  }
+
+ private:
+  util::Rng rng_;
+  double dwell_s_;
+  common::StateVector state_{};
+  std::int64_t epoch_ = -1;
+};
+
+/// The Sec. III-C floating-point microbenchmark
+/// ('echo "scale=6000; 4*a(1)" | bc -l -q'): pins one vCPU at 100 % CPU with
+/// everything else idle. This is the job used to expose the 13 W -> +7 W
+/// hyper-threading interaction (Fig. 4).
+class BcFloatLoop final : public Workload {
+ public:
+  [[nodiscard]] common::StateVector demand(double) override {
+    return common::StateVector::cpu_only(1.0);
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "bc_float_loop";
+  }
+};
+
+}  // namespace vmp::wl

@@ -1,0 +1,31 @@
+#include "workload/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::wl {
+
+TraceWorkload::TraceWorkload(std::vector<common::StateVector> states,
+                             double period_s, bool loop, double intensity,
+                             std::string name)
+    : states_(std::move(states)), period_s_(period_s), loop_(loop),
+      intensity_(intensity), name_(std::move(name)) {
+  if (states_.empty()) throw std::invalid_argument("TraceWorkload: empty trace");
+  if (!(period_s > 0.0))
+    throw std::invalid_argument("TraceWorkload: period must be > 0");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("TraceWorkload: intensity must be > 0");
+}
+
+common::StateVector TraceWorkload::demand(double t) {
+  if (t < 0.0) t = 0.0;
+  auto idx = static_cast<std::size_t>(std::floor(t / period_s_));
+  if (loop_) {
+    idx %= states_.size();
+  } else if (idx >= states_.size()) {
+    idx = states_.size() - 1;
+  }
+  return states_[idx];
+}
+
+}  // namespace vmp::wl

@@ -1,0 +1,37 @@
+// Trace replay: drive a VM from a recorded sequence of state vectors.
+//
+// Used to (a) replay dstat captures through the simulator and (b) pin exact
+// states in tests and in the coalition-probe oracle.
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace vmp::wl {
+
+/// Replays a fixed-period sequence of states; holds the last state after the
+/// trace ends (or loops, if requested).
+class TraceWorkload final : public Workload {
+ public:
+  /// Throws std::invalid_argument on an empty trace or period <= 0.
+  TraceWorkload(std::vector<common::StateVector> states, double period_s,
+                bool loop = false, double intensity = 1.0,
+                std::string name = "trace");
+
+  [[nodiscard]] common::StateVector demand(double t) override;
+  [[nodiscard]] double power_intensity() const noexcept override {
+    return intensity_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::size_t length() const noexcept { return states_.size(); }
+
+ private:
+  std::vector<common::StateVector> states_;
+  double period_s_;
+  bool loop_;
+  double intensity_;
+  std::string name_;
+};
+
+}  // namespace vmp::wl

@@ -1,0 +1,31 @@
+#include "workload/user_pattern.hpp"
+
+#include <memory>
+
+namespace vmp::wl {
+
+namespace {
+
+WorkloadPtr make_pattern(std::initializer_list<double> cpu_levels,
+                         const char* name) {
+  std::vector<StepWorkload::Phase> phases;
+  phases.reserve(cpu_levels.size());
+  for (double u : cpu_levels)
+    phases.push_back({kUserPatternPhaseSeconds, common::StateVector::cpu_only(u)});
+  return std::make_unique<StepWorkload>(std::move(phases), /*loop=*/false,
+                                        /*intensity=*/1.0, name);
+}
+
+}  // namespace
+
+WorkloadPtr make_user_a_pattern() {
+  // Average utilization 0.45 across the five intervals.
+  return make_pattern({0.30, 0.75, 0.20, 0.60, 0.40}, "user_a");
+}
+
+WorkloadPtr make_user_b_pattern() {
+  // Average utilization 0.60 = 4/3 of user A's -> 33 % more dynamic energy.
+  return make_pattern({0.55, 0.90, 0.45, 0.80, 0.30}, "user_b");
+}
+
+}  // namespace vmp::wl

@@ -1,0 +1,20 @@
+// The Fig. 1 motivating scenario: two users rent identical VMs over the same
+// interval [T0, T5] but stress them differently, so user B consumes ~33 %
+// more energy while both pay the same under per-instance-hour pricing.
+#pragma once
+
+#include "workload/primitives.hpp"
+
+namespace vmp::wl {
+
+/// Length of each of the five Fig. 1 intervals (T0..T5), in seconds.
+inline constexpr double kUserPatternPhaseSeconds = 600.0;
+
+/// User A's CPU utilization steps over [T0, T5]: a light, bursty pattern.
+[[nodiscard]] WorkloadPtr make_user_a_pattern();
+
+/// User B's CPU utilization steps over [T0, T5]: sustained heavy use whose
+/// total energy is ~4/3 of user A's under a linear power model.
+[[nodiscard]] WorkloadPtr make_user_b_pattern();
+
+}  // namespace vmp::wl

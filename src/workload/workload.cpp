@@ -1,0 +1,5 @@
+#include "workload/workload.hpp"
+
+// The Workload interface itself is header-only; this translation unit anchors
+// the vtable (key function pattern) so every user does not emit it.
+namespace vmp::wl {}  // namespace vmp::wl

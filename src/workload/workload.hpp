@@ -1,0 +1,43 @@
+// Workload interface: what a VM is asked to do over time.
+//
+// A workload produces, for any simulation time t, the VM's demanded component
+// utilization (the state the guest OS would report through dstat) and carries
+// a *power intensity*: the relative energy cost per unit of CPU utilization
+// of its instruction mix. Intensity is what makes two workloads at identical
+// OS-visible utilization draw different power (fp-heavy SPEC codes vs integer
+// codes) — the very effect that breaks purely utilization-linear models and
+// gives the paper's Fig. 10 its residual errors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/state_vector.hpp"
+
+namespace vmp::wl {
+
+/// Abstract workload bound to one VM.
+///
+/// demand() may be stateful (random workloads advance their generator), but
+/// implementations must be *monotone-replayable*: calling demand with
+/// non-decreasing t values yields the intended trace. Querying the past is
+/// not required to be consistent.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Demanded component utilization at time t (seconds since VM start).
+  /// Coordinates are fractions in [0, 1].
+  [[nodiscard]] virtual common::StateVector demand(double t) = 0;
+
+  /// Relative power cost per unit CPU utilization (1.0 = the synthetic
+  /// calibration mix used for offline model training).
+  [[nodiscard]] virtual double power_intensity() const noexcept { return 1.0; }
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+}  // namespace vmp::wl

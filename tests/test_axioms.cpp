@@ -1,0 +1,145 @@
+#include "core/axioms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/shapley.hpp"
+#include "util/rng.hpp"
+
+namespace vmp::core {
+namespace {
+
+// The paper's two-VM game: singletons 13 W, grand 20 W.
+const WorthFn kTwoVmGame = [](Coalition s) {
+  switch (s.size()) {
+    case 0: return 0.0;
+    case 1: return 13.0;
+    default: return 20.0;
+  }
+};
+
+TEST(Efficiency, GapAndCheck) {
+  const std::vector<double> exact = {10.0, 10.0};
+  EXPECT_TRUE(check_efficiency(exact, 20.0));
+  EXPECT_DOUBLE_EQ(efficiency_gap(exact, 20.0), 0.0);
+  // The power-model baseline's allocation (13 + 13) fails by +6 (Table III).
+  const std::vector<double> power_model = {13.0, 13.0};
+  EXPECT_FALSE(check_efficiency(power_model, 20.0, 1e-6));
+  EXPECT_DOUBLE_EQ(efficiency_gap(power_model, 20.0), 6.0);
+}
+
+TEST(Symmetry, DetectsSymmetricPlayers) {
+  EXPECT_TRUE(players_symmetric(2, kTwoVmGame, 0, 1));
+  EXPECT_TRUE(players_symmetric(2, kTwoVmGame, 0, 0));
+  const auto pairs = symmetric_pairs(2, kTwoVmGame);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(Player{0}, Player{1}));
+}
+
+TEST(Symmetry, AsymmetricGameHasNoPairs) {
+  const WorthFn v = [](Coalition s) {
+    return s.contains(0) ? 10.0 : (s.is_empty() ? 0.0 : 1.0);
+  };
+  EXPECT_FALSE(players_symmetric(2, v, 0, 1));
+  EXPECT_TRUE(symmetric_pairs(2, v).empty());
+}
+
+TEST(Symmetry, CheckAllocations) {
+  // Shapley's 10/10 satisfies Symmetry; marginal's 13/7 violates it.
+  EXPECT_TRUE(check_symmetry(2, kTwoVmGame, std::vector<double>{10.0, 10.0}));
+  EXPECT_FALSE(check_symmetry(2, kTwoVmGame, std::vector<double>{13.0, 7.0}));
+  EXPECT_THROW(check_symmetry(2, kTwoVmGame, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Dummy, DetectsAndChecks) {
+  const WorthFn v = [](Coalition s) { return s.contains(0) ? 10.0 : 0.0; };
+  EXPECT_TRUE(player_is_dummy(2, v, 1));
+  EXPECT_FALSE(player_is_dummy(2, v, 0));
+  EXPECT_TRUE(check_dummy(2, v, std::vector<double>{10.0, 0.0}));
+  // A power model always charging the idle VM violates Dummy (Sec. IV-C).
+  EXPECT_FALSE(check_dummy(2, v, std::vector<double>{8.0, 2.0}));
+}
+
+TEST(Dummy, NoDummyInStrictlyContributingGame) {
+  EXPECT_FALSE(player_is_dummy(2, kTwoVmGame, 0));
+  EXPECT_FALSE(player_is_dummy(2, kTwoVmGame, 1));
+}
+
+TEST(Additivity, HoldsForShapley) {
+  const WorthFn u = kTwoVmGame;
+  const WorthFn w = [](Coalition s) { return 2.0 * s.size(); };
+  EXPECT_TRUE(check_additivity(2, u, w));
+}
+
+TEST(Additivity, RandomGamePairs) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> wu(16), ww(16);
+    for (double& x : wu) x = rng.uniform(0.0, 10.0);
+    for (double& x : ww) x = rng.uniform(0.0, 10.0);
+    wu[0] = ww[0] = 0.0;
+    const WorthFn u = [&](Coalition s) { return wu[s.mask()]; };
+    const WorthFn w = [&](Coalition s) { return ww[s.mask()]; };
+    EXPECT_TRUE(check_additivity(4, u, w, 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(EvaluateAxioms, ShapleyPassesAllOnPaperGame) {
+  const auto phi = shapley_values(2, kTwoVmGame);
+  const AxiomReport report = evaluate_axioms(2, kTwoVmGame, phi);
+  EXPECT_TRUE(report.efficiency);
+  EXPECT_TRUE(report.symmetry);
+  EXPECT_TRUE(report.dummy);
+  EXPECT_NEAR(report.efficiency_gap, 0.0, 1e-9);
+}
+
+TEST(EvaluateAxioms, BaselinesFailTheExpectedAxioms) {
+  // Table III: marginal contribution is efficient but unfair; the power
+  // model is fair but inefficient.
+  const AxiomReport marginal =
+      evaluate_axioms(2, kTwoVmGame, std::vector<double>{13.0, 7.0});
+  EXPECT_TRUE(marginal.efficiency);
+  EXPECT_FALSE(marginal.symmetry);
+
+  const AxiomReport power_model =
+      evaluate_axioms(2, kTwoVmGame, std::vector<double>{13.0, 13.0});
+  EXPECT_FALSE(power_model.efficiency);
+  EXPECT_TRUE(power_model.symmetry);
+  EXPECT_NEAR(power_model.efficiency_gap, 6.0, 1e-12);
+}
+
+TEST(Axioms, InputValidation) {
+  EXPECT_THROW(players_symmetric(0, kTwoVmGame, 0, 1), std::invalid_argument);
+  EXPECT_THROW(players_symmetric(2, kTwoVmGame, 2, 0), std::invalid_argument);
+  EXPECT_THROW(player_is_dummy(2, kTwoVmGame, 2), std::invalid_argument);
+  EXPECT_THROW(check_dummy(2, kTwoVmGame, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+// Property: Shapley allocations of random games always pass all axioms.
+class AxiomsOnRandomGames : public ::testing::TestWithParam<int> {};
+
+TEST_P(AxiomsOnRandomGames, ShapleySatisfiesAllFour) {
+  util::Rng rng(GetParam() * 104729);
+  const std::size_t n = 2 + rng.uniform_u64(4);
+  std::vector<double> worth(std::size_t{1} << n);
+  for (double& w : worth) w = rng.uniform(0.0, 30.0);
+  worth[0] = 0.0;
+  // Force one dummy player by construction: player 0 never changes worth.
+  for (std::size_t mask = 0; mask < worth.size(); ++mask)
+    if (mask & 1u) worth[mask] = worth[mask & ~std::size_t{1}];
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  const auto phi = shapley_values(n, v);
+  const AxiomReport report = evaluate_axioms(n, v, phi, 1e-7);
+  EXPECT_TRUE(report.efficiency);
+  EXPECT_TRUE(report.symmetry);
+  EXPECT_TRUE(report.dummy);
+  EXPECT_NEAR(phi[0], 0.0, 1e-9);  // the constructed dummy
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxiomsOnRandomGames, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace vmp::core

@@ -1,0 +1,111 @@
+#include "core/banzhaf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/axioms.hpp"
+#include "core/shapley.hpp"
+#include "util/rng.hpp"
+
+namespace vmp::core {
+namespace {
+
+const WorthFn kTwoVmGame = [](Coalition s) {
+  switch (s.size()) {
+    case 0: return 0.0;
+    case 1: return 13.0;
+    default: return 20.0;
+  }
+};
+
+TEST(Banzhaf, TwoVmGameMatchesShapley) {
+  // For 2 players the Banzhaf and Shapley weights coincide (both 1/2).
+  const auto beta = banzhaf_values(2, kTwoVmGame);
+  EXPECT_NEAR(beta[0], 10.0, 1e-12);
+  EXPECT_NEAR(beta[1], 10.0, 1e-12);
+}
+
+TEST(Banzhaf, AdditiveGameGivesSingletonWorths) {
+  const double w[3] = {3.0, 5.0, 7.0};
+  const WorthFn v = [&](Coalition s) {
+    double sum = 0.0;
+    for (Player i : s.members()) sum += w[i];
+    return sum;
+  };
+  const auto beta = banzhaf_values(3, v);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(beta[i], w[i], 1e-12);
+}
+
+TEST(Banzhaf, GenerallyNotEfficient) {
+  // The three-player majority game: v = 1 iff |S| >= 2. Shapley gives 1/3
+  // each (sums to 1); Banzhaf gives 1/2 each (sums to 3/2).
+  const WorthFn majority = [](Coalition s) {
+    return s.size() >= 2 ? 1.0 : 0.0;
+  };
+  const auto beta = banzhaf_values(3, majority);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(beta[i], 0.5, 1e-12);
+  const double total = std::accumulate(beta.begin(), beta.end(), 0.0);
+  EXPECT_FALSE(check_efficiency(beta, majority(Coalition::grand(3)), 1e-6));
+  EXPECT_NEAR(total, 1.5, 1e-12);
+}
+
+TEST(Banzhaf, SatisfiesSymmetryAndDummy) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> worth(16);
+    for (double& w : worth) w = rng.uniform(0.0, 20.0);
+    worth[0] = 0.0;
+    // Make player 3 a dummy and players 0, 1 symmetric.
+    for (std::size_t mask = 0; mask < 16; ++mask) {
+      if (mask & 8u) worth[mask] = worth[mask & ~std::size_t{8}];
+    }
+    const auto swap01 = [](std::size_t m) {
+      const std::size_t b0 = (m >> 0) & 1, b1 = (m >> 1) & 1;
+      return (m & ~3u) | (b0 << 1) | (b1 << 0);
+    };
+    for (std::size_t mask = 0; mask < 16; ++mask) {
+      const std::size_t swapped = swap01(mask);
+      if (swapped > mask) worth[swapped] = worth[mask];
+    }
+    const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+    const auto beta = banzhaf_values(4, v);
+    EXPECT_NEAR(beta[0], beta[1], 1e-9) << "trial " << trial;
+    EXPECT_NEAR(beta[3], 0.0, 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(NormalizedBanzhaf, HitsTargetTotalButLosesUniqueness) {
+  const WorthFn majority = [](Coalition s) {
+    return s.size() >= 2 ? 1.0 : 0.0;
+  };
+  const auto beta = normalized_banzhaf_values(3, majority, 1.0);
+  EXPECT_NEAR(std::accumulate(beta.begin(), beta.end(), 0.0), 1.0, 1e-12);
+  // Here normalization lands on Shapley (fully symmetric game)...
+  const auto phi = shapley_values(3, majority);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(beta[i], phi[i], 1e-12);
+  // ...but in general it does not: an asymmetric game separates them.
+  const WorthFn veto = [](Coalition s) {
+    // Player 0 is a veto player; worth 1 iff 0 present with anyone else.
+    return s.contains(0) && s.size() >= 2 ? 1.0 : 0.0;
+  };
+  const auto nb = normalized_banzhaf_values(3, veto, 1.0);
+  const auto sv = shapley_values(3, veto);
+  EXPECT_GT(std::abs(nb[0] - sv[0]), 0.01);
+}
+
+TEST(NormalizedBanzhaf, ZeroGameSplitsEqually) {
+  const WorthFn zero = [](Coalition) { return 0.0; };
+  const auto beta = normalized_banzhaf_values(4, zero, 12.0);
+  for (double b : beta) EXPECT_DOUBLE_EQ(b, 3.0);
+}
+
+TEST(Banzhaf, Validation) {
+  EXPECT_THROW(banzhaf_values(0, kTwoVmGame), std::invalid_argument);
+  EXPECT_THROW(banzhaf_values(kMaxPlayers + 1, kTwoVmGame),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::core

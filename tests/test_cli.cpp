@@ -1,0 +1,90 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vmp::util {
+namespace {
+
+TEST(CliArgs, CommandAndPositionals) {
+  const CliArgs args({"meter", "extra"});
+  EXPECT_EQ(args.command(), "meter");
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[1], "extra");
+  EXPECT_EQ(CliArgs({}).command(), "");
+}
+
+TEST(CliArgs, OptionsWithValues) {
+  const CliArgs args({"collect", "--fleet", "VM1,VM2", "--duration", "300"});
+  EXPECT_TRUE(args.has("fleet"));
+  EXPECT_EQ(args.get("fleet"), "VM1,VM2");
+  EXPECT_DOUBLE_EQ(args.get_double("duration", 0.0), 300.0);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 7.5), 7.5);
+  EXPECT_EQ(args.get_long("missing", 9), 9);
+}
+
+TEST(CliArgs, FlagsHaveEmptyValues) {
+  const CliArgs args({"meter", "--verbose", "--out", "x.csv"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "unset"), "");
+  EXPECT_EQ(args.get("out"), "x.csv");
+}
+
+TEST(CliArgs, FlagFollowedByOptionIsFlag) {
+  const CliArgs args({"--flag", "--key", "value"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get("flag", "unset"), "");
+  EXPECT_EQ(args.get("key"), "value");
+}
+
+TEST(CliArgs, RequireThrowsWhenMissing) {
+  const CliArgs args({"train", "--table", "t.vsc"});
+  EXPECT_EQ(args.require("table"), "t.vsc");
+  EXPECT_THROW(args.require("out"), std::invalid_argument);
+  // Present as a flag (empty value) also fails require.
+  const CliArgs flag({"--out"});
+  EXPECT_THROW(flag.require("out"), std::invalid_argument);
+}
+
+TEST(CliArgs, NumericValidation) {
+  const CliArgs args({"--duration", "abc", "--seed", "1.5"});
+  EXPECT_THROW(args.get_double("duration", 0.0), std::invalid_argument);
+  EXPECT_THROW(args.get_long("seed", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, NegativeNumbersParse) {
+  // A negative value does not start with "--", so it binds as a value.
+  const CliArgs args({"--offset", "-5"});
+  EXPECT_EQ(args.get_long("offset", 0), -5);
+}
+
+TEST(CliArgs, UnknownKeysDetected) {
+  const CliArgs args({"--fleet", "VM1", "--tpyo", "x"});
+  const auto unknown = args.unknown_keys({"fleet", "out"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "tpyo");
+}
+
+TEST(CliArgs, BareDashesRejected) {
+  EXPECT_THROW(CliArgs({"--"}), std::invalid_argument);
+}
+
+TEST(CliArgs, ArgcArgvConstructor) {
+  const char* argv[] = {"vmpower", "meter", "--duration", "60"};
+  const CliArgs args(4, argv);
+  EXPECT_EQ(args.command(), "meter");
+  EXPECT_DOUBLE_EQ(args.get_double("duration", 0.0), 60.0);
+}
+
+TEST(SplitCsv, Basics) {
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv("one"), (std::vector<std::string>{"one"}));
+  EXPECT_TRUE(split_csv("").empty());
+  EXPECT_EQ(split_csv("a,,b"), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_csv("a,"), (std::vector<std::string>{"a", ""}));
+}
+
+}  // namespace
+}  // namespace vmp::util

@@ -1,0 +1,104 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/vm_config.hpp"
+#include "workload/primitives.hpp"
+
+namespace vmp::sim {
+namespace {
+
+wl::WorkloadPtr busy(double util = 1.0) {
+  return std::make_unique<wl::ConstantWorkload>(
+      common::StateVector::cpu_only(util));
+}
+
+MachineSpec quiet_xeon() {
+  MachineSpec spec = xeon_prototype();
+  spec.meter_noise_sigma_w = 0.0;
+  spec.meter_quantum_w = 0.0;
+  spec.affinity_jitter = 0.0;
+  return spec;
+}
+
+TEST(Cluster, AddHostsAndIndexStability) {
+  Cluster cluster;
+  EXPECT_EQ(cluster.add_host(quiet_xeon(), 1), 0u);
+  EXPECT_EQ(cluster.add_host(pentium_desktop(), 2), 1u);
+  EXPECT_EQ(cluster.host_count(), 2u);
+  EXPECT_EQ(cluster.host(1).hypervisor().spec().name, "pentium-desktop");
+  EXPECT_THROW(cluster.host(2), std::out_of_range);
+}
+
+TEST(Cluster, LaunchWithoutHostsFails) {
+  Cluster cluster;
+  EXPECT_THROW(cluster.launch(common::demo_c_vm(), busy()),
+               std::runtime_error);
+}
+
+TEST(Cluster, FirstFitFillsInOrder) {
+  Cluster cluster(PlacementPolicy::kFirstFit);
+  cluster.add_host(quiet_xeon(), 1);  // 16 logical CPUs
+  cluster.add_host(quiet_xeon(), 2);
+  const auto big = common::paper_vm_type(4);  // 8 vCPUs
+  EXPECT_EQ(cluster.launch(big, busy()).host, 0u);
+  EXPECT_EQ(cluster.launch(big, busy()).host, 0u);  // fills host 0 (16/16)
+  EXPECT_EQ(cluster.launch(big, busy()).host, 1u);  // spills to host 1
+  EXPECT_EQ(cluster.free_vcpus(0), 0u);
+  EXPECT_EQ(cluster.free_vcpus(1), 8u);
+}
+
+TEST(Cluster, LeastLoadedBalances) {
+  Cluster cluster(PlacementPolicy::kLeastLoaded);
+  cluster.add_host(quiet_xeon(), 1);
+  cluster.add_host(quiet_xeon(), 2);
+  const auto vm = common::paper_vm_type(3);  // 4 vCPUs
+  EXPECT_EQ(cluster.launch(vm, busy()).host, 0u);
+  EXPECT_EQ(cluster.launch(vm, busy()).host, 1u);  // alternates
+  EXPECT_EQ(cluster.launch(vm, busy()).host, 0u);
+  EXPECT_EQ(cluster.launch(vm, busy()).host, 1u);
+}
+
+TEST(Cluster, CapacityExhaustionThrows) {
+  Cluster cluster;
+  cluster.add_host(quiet_xeon(), 1);
+  const auto big = common::paper_vm_type(4);
+  (void)cluster.launch(big, busy());
+  (void)cluster.launch(big, busy());
+  EXPECT_THROW(cluster.launch(common::demo_c_vm(), busy()),
+               std::runtime_error);
+}
+
+TEST(Cluster, StepAdvancesAllHostsLockStep) {
+  Cluster cluster;
+  cluster.add_host(quiet_xeon(), 1);
+  cluster.add_host(quiet_xeon(), 2);
+  (void)cluster.launch(common::demo_c_vm(), busy());
+  const auto frames = cluster.step(1.0);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_DOUBLE_EQ(cluster.host(0).now(), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.host(1).now(), 1.0);
+  // Host 0 carries the busy VM; host 1 idles at its floor.
+  EXPECT_GT(frames[0].active_power_w, frames[1].active_power_w);
+  EXPECT_NEAR(frames[1].active_power_w, quiet_xeon().idle_power_w, 1e-9);
+}
+
+TEST(Cluster, TotalTruePowerSumsHosts) {
+  Cluster cluster;
+  cluster.add_host(quiet_xeon(), 1);
+  cluster.add_host(quiet_xeon(), 2);
+  (void)cluster.step(1.0);
+  EXPECT_NEAR(cluster.total_true_power_w(), 2.0 * quiet_xeon().idle_power_w,
+              1e-9);
+}
+
+TEST(Cluster, PolicyNames) {
+  EXPECT_STREQ(to_string(PlacementPolicy::kFirstFit), "first-fit");
+  EXPECT_STREQ(to_string(PlacementPolicy::kLeastLoaded), "least-loaded");
+}
+
+}  // namespace
+}  // namespace vmp::sim

@@ -1,0 +1,97 @@
+#include "core/coalition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace vmp::core {
+namespace {
+
+TEST(Coalition, EmptyAndGrand) {
+  EXPECT_TRUE(Coalition::empty().is_empty());
+  EXPECT_EQ(Coalition::empty().size(), 0u);
+  const Coalition grand = Coalition::grand(5);
+  EXPECT_EQ(grand.size(), 5u);
+  EXPECT_EQ(grand.mask(), 0b11111u);
+  EXPECT_TRUE(Coalition::grand(0).is_empty());
+  EXPECT_THROW(Coalition::grand(kMaxPlayers + 1), std::invalid_argument);
+}
+
+TEST(Coalition, SingleAndContains) {
+  const Coalition s = Coalition::single(3);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_FALSE(s.contains(kMaxPlayers + 5));
+  EXPECT_THROW(Coalition::single(kMaxPlayers), std::invalid_argument);
+}
+
+TEST(Coalition, WithWithout) {
+  Coalition s = Coalition::empty().with(1).with(4);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(4));
+  s = s.without(1);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.without(1), s);  // removing twice is a no-op
+  EXPECT_EQ(s.with(4), s);     // adding twice is a no-op
+}
+
+TEST(Coalition, SetAlgebra) {
+  const Coalition a{0b0110};
+  const Coalition b{0b0011};
+  EXPECT_EQ(a.united(b).mask(), 0b0111u);
+  EXPECT_EQ(a.intersected(b).mask(), 0b0010u);
+  EXPECT_TRUE(Coalition{0b0010}.is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(b));
+  EXPECT_TRUE(Coalition::empty().is_subset_of(a));
+}
+
+TEST(Coalition, MembersAscending) {
+  const Coalition s{0b10101};
+  const auto members = s.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], 0u);
+  EXPECT_EQ(members[1], 2u);
+  EXPECT_EQ(members[2], 4u);
+  EXPECT_TRUE(Coalition::empty().members().empty());
+}
+
+TEST(ForEachSubset, VisitsAllSubsetsExactlyOnce) {
+  const Coalition of{0b1011};  // 3 members -> 8 subsets
+  std::set<Coalition::Mask> seen;
+  for_each_subset(of, [&](Coalition s) {
+    EXPECT_TRUE(s.is_subset_of(of));
+    EXPECT_TRUE(seen.insert(s.mask()).second) << "duplicate " << s.mask();
+  });
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_TRUE(seen.count(0));          // empty included
+  EXPECT_TRUE(seen.count(of.mask()));  // full included
+}
+
+TEST(ForEachSubset, EmptyCoalitionVisitsOnlyEmpty) {
+  int calls = 0;
+  for_each_subset(Coalition::empty(), [&](Coalition s) {
+    EXPECT_TRUE(s.is_empty());
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(AllSubsets, CountsMatch) {
+  EXPECT_EQ(all_subsets(Coalition::grand(4)).size(), 16u);
+  EXPECT_EQ(all_subsets(Coalition::empty()).size(), 1u);
+  EXPECT_THROW(all_subsets(Coalition::grand(25)), std::invalid_argument);
+}
+
+TEST(Coalition, NonContiguousPlayers) {
+  // Coalitions need not be prefixes: {1, 3} from a 4-player game.
+  const Coalition s = Coalition::single(1).united(Coalition::single(3));
+  int count = 0;
+  for_each_subset(s, [&](Coalition) { ++count; });
+  EXPECT_EQ(count, 4);
+}
+
+}  // namespace
+}  // namespace vmp::core

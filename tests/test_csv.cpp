@@ -1,0 +1,82 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace vmp::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() /
+      ("vmp_csv_test_" + std::to_string(::getpid()) + ".csv");
+
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  {
+    CsvWriter writer(path_, {"t", "power", "error"});
+    writer.write_row(std::vector<double>{1.0, 150.5, 0.01});
+    writer.write_row(std::vector<double>{2.0, 151.25, -0.02});
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  const CsvData data = read_csv(path_);
+  ASSERT_EQ(data.columns.size(), 3u);
+  EXPECT_EQ(data.columns[1], "power");
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[0][1], 150.5);
+  EXPECT_DOUBLE_EQ(data.rows[1][2], -0.02);
+}
+
+TEST_F(CsvTest, RowWidthValidation) {
+  CsvWriter writer(path_, {"a", "b"});
+  EXPECT_THROW(writer.write_row(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, EmptyColumnsRejected) {
+  EXPECT_THROW(CsvWriter(path_, {}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, PrecisionPreserved) {
+  {
+    CsvWriter writer(path_, {"x"});
+    writer.write_row(std::vector<double>{0.123456789012});
+  }
+  const CsvData data = read_csv(path_);
+  EXPECT_NEAR(data.rows[0][0], 0.123456789012, 1e-11);
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv(path_.string() + ".nope"), std::runtime_error);
+}
+
+TEST_F(CsvTest, NonNumericCellRejected) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n1.0,oops\n";
+  }
+  EXPECT_THROW(read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, RaggedRowRejected) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n1.0\n";
+  }
+  EXPECT_THROW(read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, HeaderOnlyFileHasNoRows) {
+  { CsvWriter writer(path_, {"only"}); }
+  const CsvData data = read_csv(path_);
+  EXPECT_TRUE(data.rows.empty());
+  ASSERT_EQ(data.columns.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vmp::util

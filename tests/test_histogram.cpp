@@ -1,0 +1,74 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace vmp::util {
+namespace {
+
+TEST(Histogram, ConstructionValidation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.bin_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+  EXPECT_THROW(h.bin_lo(4), std::out_of_range);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.35);
+  h.add(0.9);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(2), 0u);
+  EXPECT_EQ(h.bin(3), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(5.0);
+  h.add(1.0);  // exactly hi clamps into the last bin
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, CumulativeFractionIsCdf) {
+  Histogram h(0.0, 10.0, 5);
+  const std::vector<double> xs = {1.0, 3.0, 5.0, 7.0, 9.0};
+  h.add_all(xs);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.2);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(2), 0.6);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(4), 1.0);
+}
+
+TEST(Histogram, CumulativeFractionEmpty) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 0.0);
+}
+
+TEST(Histogram, RenderContainsEveryBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.5);
+  const std::string out = h.render();
+  // One line per bin, each ending with a cdf annotation.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("cdf="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmp::util

@@ -1,0 +1,164 @@
+#include "util/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace vmp::util {
+namespace {
+
+TEST(LeastSquares, ExactSquareSystem) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  const std::vector<double> b = {4.0, 9.0};
+  const auto r = solve_least_squares(a, b);
+  ASSERT_EQ(r.coefficients.size(), 2u);
+  EXPECT_NEAR(r.coefficients[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.coefficients[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-12);
+  EXPECT_FALSE(r.rank_deficient);
+}
+
+TEST(LeastSquares, OverdeterminedKnownSolution) {
+  // y = 2x + 1 sampled at x = 0..4 with symmetric perturbations: the LS fit
+  // recovers slope 2, intercept 1 exactly.
+  Matrix a(5, 2);
+  std::vector<double> b(5);
+  const double noise[5] = {0.1, -0.1, 0.0, 0.1, -0.1};
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = i;
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * i + 1.0 + noise[i];
+  }
+  const auto r = solve_least_squares(a, b);
+  EXPECT_NEAR(r.coefficients[0], 2.0, 0.03);
+  EXPECT_NEAR(r.coefficients[1], 1.0, 0.08);
+  EXPECT_GT(r.residual_norm, 0.0);
+}
+
+TEST(LeastSquares, PositiveCoefficientSign) {
+  // Regression test for the Householder sign bug found during calibration:
+  // a strictly positive relation must yield a positive coefficient.
+  Matrix a(10, 1);
+  std::vector<double> b(10);
+  for (int i = 0; i < 10; ++i) {
+    a(i, 0) = 0.1 * (i + 1);
+    b[i] = 13.15 * a(i, 0);
+  }
+  const auto r = solve_least_squares(a, b);
+  EXPECT_NEAR(r.coefficients[0], 13.15, 1e-9);
+}
+
+TEST(LeastSquares, ResidualNormMatchesDirectComputation) {
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::vector<double> b = {1.0, 1.0, 0.0};
+  const auto r = solve_least_squares(a, b);
+  // Direct residual ||A x - b||.
+  double res_sq = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double pred =
+        a(i, 0) * r.coefficients[0] + a(i, 1) * r.coefficients[1];
+    res_sq += (pred - b[i]) * (pred - b[i]);
+  }
+  EXPECT_NEAR(r.residual_norm, std::sqrt(res_sq), 1e-10);
+}
+
+TEST(LeastSquares, ZeroColumnFlagsRankDeficiency) {
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = i + 1.0;
+    a(i, 1) = 0.0;  // dead feature
+    b[i] = 3.0 * (i + 1.0);
+  }
+  const auto r = solve_least_squares(a, b);
+  EXPECT_TRUE(r.rank_deficient);
+  EXPECT_NEAR(r.coefficients[0], 3.0, 1e-10);
+  EXPECT_DOUBLE_EQ(r.coefficients[1], 0.0);
+}
+
+TEST(LeastSquares, InputValidation) {
+  Matrix a(2, 3);
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(solve_least_squares(a, b), std::invalid_argument);  // rows < cols
+  Matrix ok(3, 2);
+  EXPECT_THROW(solve_least_squares(ok, b), std::invalid_argument);  // b size
+  EXPECT_THROW(solve_least_squares(Matrix{}, {}), std::invalid_argument);
+}
+
+TEST(Ridge, ShrinksTowardZero) {
+  Matrix a(4, 1);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    b[i] = 10.0;
+  }
+  const auto plain = solve_least_squares(a, b);
+  const auto ridged = solve_ridge(a, b, 4.0);
+  EXPECT_NEAR(plain.coefficients[0], 10.0, 1e-10);
+  // Ridge closed form: X'y / (X'X + lambda) = 40 / 8 = 5.
+  EXPECT_NEAR(ridged.coefficients[0], 5.0, 1e-10);
+}
+
+TEST(Ridge, ZeroLambdaEqualsOrdinary) {
+  Matrix a{{1.0}, {2.0}, {3.0}};
+  const std::vector<double> b = {2.0, 4.0, 6.0};
+  const auto plain = solve_least_squares(a, b);
+  const auto ridged = solve_ridge(a, b, 0.0);
+  EXPECT_NEAR(plain.coefficients[0], ridged.coefficients[0], 1e-12);
+}
+
+TEST(Ridge, NegativeLambdaRejected) {
+  Matrix a{{1.0}};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(solve_ridge(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(Ridge, HandlesUnderdeterminedSystems) {
+  // One sample, two unknowns: ordinary LS refuses, ridge solves (shrunken).
+  Matrix a(1, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  const std::vector<double> b = {2.0};
+  EXPECT_THROW(solve_least_squares(a, b), std::invalid_argument);
+  const auto r = solve_ridge(a, b, 1e-6);
+  EXPECT_NEAR(r.coefficients[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.coefficients[1], 1.0, 1e-3);
+}
+
+// Property sweep: random well-conditioned systems are recovered to machine
+// precision regardless of shape.
+class LeastSquaresRecovery
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LeastSquaresRecovery, RecoversPlantedCoefficients) {
+  const auto [rows, cols, seed] = GetParam();
+  Rng rng(seed);
+  Matrix a(rows, cols);
+  std::vector<double> truth(cols);
+  for (int c = 0; c < cols; ++c) truth[c] = rng.uniform(-5.0, 5.0);
+  std::vector<double> b(rows, 0.0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+      b[r] += a(r, c) * truth[c];
+    }
+  }
+  const auto result = solve_least_squares(a, b);
+  for (int c = 0; c < cols; ++c)
+    EXPECT_NEAR(result.coefficients[c], truth[c], 1e-8) << "col " << c;
+  EXPECT_NEAR(result.residual_norm, 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LeastSquaresRecovery,
+    ::testing::Values(std::make_tuple(5, 2, 1), std::make_tuple(10, 3, 2),
+                      std::make_tuple(50, 4, 3), std::make_tuple(100, 8, 4),
+                      std::make_tuple(200, 12, 5), std::make_tuple(30, 1, 6),
+                      std::make_tuple(64, 16, 7)));
+
+}  // namespace
+}  // namespace vmp::util

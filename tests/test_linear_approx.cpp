@@ -1,0 +1,154 @@
+#include "core/linear_approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace vmp::core {
+namespace {
+
+using common::Component;
+using common::StateVector;
+
+StateVector cpu_mem(double cpu, double mem) {
+  StateVector s = StateVector::cpu_only(cpu);
+  s[Component::kMemory] = mem;
+  return s;
+}
+
+// Builds a table for one VHC whose true law is power = w_cpu * cpu.
+VscTable linear_cpu_table(double w_cpu, std::size_t samples, double noise_sigma,
+                          std::uint64_t seed) {
+  VscTable table(1, 0.01);
+  util::Rng rng(seed);
+  for (std::size_t k = 0; k < samples; ++k) {
+    const double cpu = rng.uniform(0.0, 4.0);
+    const double power =
+        std::max(0.0, w_cpu * cpu + rng.normal(0.0, noise_sigma));
+    table.record(0b1, {{StateVector::cpu_only(cpu)}}, power);
+  }
+  return table;
+}
+
+TEST(VhcLinearApprox, RecoversPlantedCpuWeight) {
+  const auto table = linear_cpu_table(13.15, 400, 0.0, 1);
+  const auto approx = VhcLinearApprox::fit(table);
+  EXPECT_TRUE(approx.has_combo(0b1));
+  EXPECT_NEAR(approx.weights(0b1)[0], 13.15, 0.01);
+  // The 0.01 state quantization alone leaves a ~0.04 W residual.
+  EXPECT_NEAR(approx.fit_rmse(0b1), 0.0, 0.06);
+}
+
+TEST(VhcLinearApprox, NoiseAveragesOut) {
+  const auto table = linear_cpu_table(10.0, 2000, 0.5, 2);
+  const auto approx = VhcLinearApprox::fit(table);
+  EXPECT_NEAR(approx.weights(0b1)[0], 10.0, 0.1);
+  EXPECT_NEAR(approx.fit_rmse(0b1), 0.5, 0.1);
+}
+
+TEST(VhcLinearApprox, PredictIsDotProduct) {
+  const auto table = linear_cpu_table(10.0, 200, 0.0, 3);
+  const auto approx = VhcLinearApprox::fit(table);
+  EXPECT_NEAR(approx.predict(0b1, {{StateVector::cpu_only(2.5)}}), 25.0, 0.05);
+  EXPECT_DOUBLE_EQ(approx.predict(0, {{StateVector::zero()}}), 0.0);
+}
+
+TEST(VhcLinearApprox, MultiComponentFit) {
+  VscTable table(1, 0.01);
+  util::Rng rng(4);
+  for (int k = 0; k < 500; ++k) {
+    const double cpu = rng.uniform(0.0, 2.0);
+    const double mem = rng.uniform(0.0, 1.5);
+    table.record(0b1, {{cpu_mem(cpu, mem)}}, 13.0 * cpu + 6.0 * mem);
+  }
+  const auto approx = VhcLinearApprox::fit(table);
+  const auto w = approx.weights(0b1);
+  EXPECT_NEAR(w[0], 13.0, 0.05);
+  EXPECT_NEAR(w[1], 6.0, 0.05);
+  EXPECT_NEAR(approx.predict(0b1, {{cpu_mem(1.0, 1.0)}}), 19.0, 0.1);
+}
+
+TEST(VhcLinearApprox, TwoVhcJointFit) {
+  // Combo {0,1}: power = 13 * v_0.cpu + 95 * v_1.cpu.
+  VscTable table(2, 0.01);
+  util::Rng rng(5);
+  for (int k = 0; k < 600; ++k) {
+    const double c0 = rng.uniform(0.0, 2.0);
+    const double c1 = rng.uniform(0.0, 1.0);
+    table.record(
+        0b11, {{StateVector::cpu_only(c0), StateVector::cpu_only(c1)}},
+        13.0 * c0 + 95.0 * c1);
+  }
+  const auto approx = VhcLinearApprox::fit(table);
+  const auto w = approx.weights(0b11);
+  EXPECT_NEAR(w[0], 13.0, 0.1);                             // VHC 0 cpu
+  EXPECT_NEAR(w[common::kNumComponents], 95.0, 0.2);        // VHC 1 cpu
+}
+
+TEST(VhcLinearApprox, DeadComponentsGetZeroWeight) {
+  // CPU-only training data (the paper's synthetic benchmark): memory/disk
+  // columns are identically zero and must not produce spurious weights.
+  const auto table = linear_cpu_table(13.0, 300, 0.0, 6);
+  const auto approx = VhcLinearApprox::fit(table);
+  const auto w = approx.weights(0b1);
+  EXPECT_NEAR(w[1], 0.0, 1e-6);
+  EXPECT_NEAR(w[2], 0.0, 1e-6);
+  EXPECT_NEAR(w[3], 0.0, 1e-6);
+}
+
+TEST(VhcLinearApprox, FallbackComposesFittedSubCombos) {
+  // Fit combos {0} and {1} separately; predicting the unmeasured combo
+  // {0,1} must sum the two sub-models.
+  VscTable table(2, 0.01);
+  util::Rng rng(7);
+  for (int k = 0; k < 300; ++k) {
+    const double c = rng.uniform(0.0, 2.0);
+    table.record(0b01, {{StateVector::cpu_only(c), StateVector::zero()}},
+                 13.0 * c);
+    table.record(0b10, {{StateVector::zero(), StateVector::cpu_only(c)}},
+                 23.0 * c);
+  }
+  const auto approx = VhcLinearApprox::fit(table);
+  EXPECT_FALSE(approx.has_combo(0b11));
+  const double prediction = approx.predict(
+      0b11, {{StateVector::cpu_only(1.0), StateVector::cpu_only(1.0)}});
+  EXPECT_NEAR(prediction, 36.0, 0.2);
+}
+
+TEST(VhcLinearApprox, UncoverableComboThrows) {
+  const auto table = linear_cpu_table(13.0, 100, 0.0, 8);
+  const auto approx = VhcLinearApprox::fit(table);  // only combo {0} of 1 VHC
+  VscTable two(2, 0.01);
+  two.record(0b01, {{StateVector::cpu_only(1.0), StateVector::zero()}}, 13.0);
+  const auto approx2 = VhcLinearApprox::fit(two);
+  EXPECT_THROW(approx2.predict(0b10, {{StateVector::zero(),
+                                       StateVector::cpu_only(1.0)}}),
+               std::out_of_range);
+}
+
+TEST(VhcLinearApprox, Validation) {
+  const VscTable empty(1, 0.01);
+  EXPECT_THROW(VhcLinearApprox::fit(empty), std::invalid_argument);
+  const auto table = linear_cpu_table(13.0, 50, 0.0, 9);
+  EXPECT_THROW(VhcLinearApprox::fit(table, -1.0), std::invalid_argument);
+  const auto approx = VhcLinearApprox::fit(table);
+  EXPECT_THROW(approx.weights(0b10), std::out_of_range);
+  EXPECT_THROW(approx.fit_rmse(0b10), std::out_of_range);
+  EXPECT_THROW(approx.predict(0b1, {}), std::invalid_argument);
+}
+
+TEST(VhcLinearApprox, FittedCombosSorted) {
+  VscTable table(2, 0.01);
+  table.record(0b10, {{StateVector::zero(), StateVector::cpu_only(1.0)}}, 9.0);
+  table.record(0b01, {{StateVector::cpu_only(1.0), StateVector::zero()}}, 5.0);
+  const auto approx = VhcLinearApprox::fit(table);
+  const auto combos = approx.fitted_combos();
+  ASSERT_EQ(combos.size(), 2u);
+  EXPECT_EQ(combos[0], 0b01u);
+  EXPECT_EQ(combos[1], 0b10u);
+}
+
+}  // namespace
+}  // namespace vmp::core

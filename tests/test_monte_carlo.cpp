@@ -1,0 +1,158 @@
+#include "core/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/shapley.hpp"
+#include "util/rng.hpp"
+
+namespace vmp::core {
+namespace {
+
+const WorthFn kTwoVmGame = [](Coalition s) {
+  switch (s.size()) {
+    case 0: return 0.0;
+    case 1: return 13.0;
+    default: return 20.0;
+  }
+};
+
+TEST(MonteCarlo, ExactOnTinyGame) {
+  // With n = 2 there are only two permutations; a handful of samples plus
+  // antithetic pairing covers both, so the estimate is exact.
+  const auto result =
+      monte_carlo_shapley(2, kTwoVmGame, {.permutations = 50, .seed = 1});
+  EXPECT_NEAR(result.values[0], 10.0, 1e-9);
+  EXPECT_NEAR(result.values[1], 10.0, 1e-9);
+}
+
+TEST(MonteCarlo, EfficiencyHoldsPerPermutation) {
+  // Each permutation's marginals telescope to v(N), so the estimate sums to
+  // v(N) exactly regardless of sample count.
+  util::Rng rng(3);
+  std::vector<double> worth(32);
+  for (double& w : worth) w = rng.uniform(0.0, 10.0);
+  worth[0] = 0.0;
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  const auto result = monte_carlo_shapley(5, v, {.permutations = 7, .seed = 2});
+  const double total =
+      std::accumulate(result.values.begin(), result.values.end(), 0.0);
+  EXPECT_NEAR(total, worth.back(), 1e-9);
+}
+
+TEST(MonteCarlo, ConvergesToExactValues) {
+  util::Rng rng(11);
+  const std::size_t n = 8;
+  std::vector<double> worth(std::size_t{1} << n);
+  for (double& w : worth) w = rng.uniform(0.0, 100.0);
+  worth[0] = 0.0;
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  const auto exact = shapley_values(n, v);
+  const auto estimate =
+      monte_carlo_shapley(n, v, {.permutations = 4000, .seed = 5});
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(estimate.values[i], exact[i], 1.0) << "player " << i;
+}
+
+TEST(MonteCarlo, StandardErrorShrinksWithSamples) {
+  util::Rng rng(13);
+  const std::size_t n = 6;
+  std::vector<double> worth(64);
+  for (double& w : worth) w = rng.uniform(0.0, 100.0);
+  worth[0] = 0.0;
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  const auto small = monte_carlo_shapley(n, v, {.permutations = 50, .seed = 7});
+  const auto large =
+      monte_carlo_shapley(n, v, {.permutations = 5000, .seed = 7});
+  double se_small = 0.0, se_large = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    se_small += small.std_errors[i];
+    se_large += large.std_errors[i];
+  }
+  EXPECT_LT(se_large, se_small / 3.0);
+}
+
+TEST(MonteCarlo, ErrorBarsCoverTruth) {
+  util::Rng rng(17);
+  const std::size_t n = 7;
+  std::vector<double> worth(128);
+  for (double& w : worth) w = rng.uniform(0.0, 40.0);
+  worth[0] = 0.0;
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  const auto exact = shapley_values(n, v);
+  const auto mc = monte_carlo_shapley(n, v, {.permutations = 2000, .seed = 9});
+  int covered = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::abs(mc.values[i] - exact[i]) <= 4.0 * mc.std_errors[i]) ++covered;
+  EXPECT_GE(covered, static_cast<int>(n) - 1);  // ~4-sigma coverage
+}
+
+TEST(MonteCarlo, MemoizationBoundsWorthEvaluations) {
+  const auto result =
+      monte_carlo_shapley(4, kTwoVmGame, {.permutations = 1000, .seed = 3});
+  // At most 2^4 = 16 distinct coalitions can ever be evaluated.
+  EXPECT_LE(result.worth_evaluations, 16u);
+  EXPECT_EQ(result.permutations_used, 2000u);  // antithetic doubles the walks
+}
+
+TEST(MonteCarlo, AntitheticOffHalvesWalks) {
+  const auto result = monte_carlo_shapley(
+      3, kTwoVmGame, {.permutations = 100, .seed = 3, .antithetic = false});
+  EXPECT_EQ(result.permutations_used, 100u);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  util::Rng rng(23);
+  std::vector<double> worth(32);
+  for (double& w : worth) w = rng.uniform(0.0, 10.0);
+  worth[0] = 0.0;
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  const auto a = monte_carlo_shapley(5, v, {.permutations = 37, .seed = 99});
+  const auto b = monte_carlo_shapley(5, v, {.permutations = 37, .seed = 99});
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+}
+
+TEST(MonteCarlo, Validation) {
+  EXPECT_THROW(monte_carlo_shapley(0, kTwoVmGame, {}), std::invalid_argument);
+  EXPECT_THROW(monte_carlo_shapley(kMaxPlayers + 1, kTwoVmGame, {}),
+               std::invalid_argument);
+  EXPECT_THROW(monte_carlo_shapley(2, kTwoVmGame, {.permutations = 0}),
+               std::invalid_argument);
+}
+
+// Parameterized convergence sweep: mean absolute error decreases with the
+// permutation budget across game sizes.
+class McConvergence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(McConvergence, MeanAbsoluteErrorWithinBudgetBound) {
+  const auto [n, permutations] = GetParam();
+  util::Rng rng(n * 31 + permutations);
+  std::vector<double> worth(std::size_t{1} << n);
+  for (double& w : worth) w = rng.uniform(0.0, 50.0);
+  worth[0] = 0.0;
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  const auto exact = shapley_values(n, v);
+  const auto mc =
+      monte_carlo_shapley(n, v, {.permutations = permutations, .seed = 1234});
+  double mae = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    mae += std::abs(mc.values[i] - exact[i]);
+  mae /= static_cast<double>(n);
+  // Marginals are bounded by ~50; the MC error at B walks is O(50/sqrt(B)).
+  const double bound = 6.0 * 50.0 / std::sqrt(static_cast<double>(2 * permutations));
+  EXPECT_LT(mae, bound) << "n=" << n << " B=" << permutations;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, McConvergence,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 6, 8, 10),
+                       ::testing::Values<std::size_t>(100, 400, 1600)));
+
+}  // namespace
+}  // namespace vmp::core

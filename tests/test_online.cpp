@@ -1,0 +1,110 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/vm_config.hpp"
+#include "core/collector.hpp"
+#include "workload/primitives.hpp"
+
+namespace vmp::core {
+namespace {
+
+using common::StateVector;
+
+class MeteringLoopTest : public ::testing::Test {
+ protected:
+  sim::MachineSpec spec_ = [] {
+    sim::MachineSpec s = sim::xeon_prototype();
+    s.meter_noise_sigma_w = 0.0;
+    s.meter_quantum_w = 0.0;
+    s.affinity_jitter = 0.0;
+    return s;
+  }();
+
+  OfflineDataset dataset_ = [this] {
+    CollectionOptions options;
+    options.duration_s = 60.0;
+    return collect_offline_dataset(
+        spec_, {common::demo_c_vm(), common::demo_c_vm()}, options);
+  }();
+};
+
+TEST_F(MeteringLoopTest, StepProducesConsistentSample) {
+  sim::PhysicalMachine machine(spec_, 1);
+  const auto id = machine.hypervisor().create_vm(
+      common::demo_c_vm(), std::make_unique<wl::ConstantWorkload>(
+                               StateVector::cpu_only(1.0)));
+  machine.hypervisor().start_vm(id);
+
+  ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);
+  MeteringLoop loop(machine, estimator);
+  const MeteringSample sample = loop.step();
+
+  EXPECT_DOUBLE_EQ(sample.time_s, 1.0);
+  EXPECT_GT(sample.meter_power_w, spec_.idle_power_w);
+  EXPECT_NEAR(sample.adjusted_power_w,
+              sample.meter_power_w - spec_.idle_power_w, 1e-9);
+  ASSERT_EQ(sample.vms.size(), 1u);
+  ASSERT_EQ(sample.phi.size(), 1u);
+  EXPECT_NEAR(sample.phi[0], sample.adjusted_power_w, 1e-9);  // efficiency
+  EXPECT_EQ(loop.steps(), 1u);
+}
+
+TEST_F(MeteringLoopTest, IdleMachineYieldsEmptyPhi) {
+  sim::PhysicalMachine machine(spec_, 1);
+  ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);
+  MeteringLoop loop(machine, estimator);
+  const MeteringSample sample = loop.step();
+  EXPECT_TRUE(sample.vms.empty());
+  EXPECT_TRUE(sample.phi.empty());
+  EXPECT_DOUBLE_EQ(sample.adjusted_power_w, 0.0);
+}
+
+TEST_F(MeteringLoopTest, AccountantReceivesEveryStep) {
+  sim::PhysicalMachine machine(spec_, 1);
+  const auto id = machine.hypervisor().create_vm(
+      common::demo_c_vm(), std::make_unique<wl::ConstantWorkload>(
+                               StateVector::cpu_only(0.8)));
+  machine.hypervisor().start_vm(id);
+
+  ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);
+  EnergyAccountant accountant(IdleAttribution::kNone);
+  MeteringLoop loop(machine, estimator, 1.0, &accountant);
+  loop.run(30.0);
+  EXPECT_EQ(loop.steps(), 30u);
+  EXPECT_DOUBLE_EQ(accountant.accounted_seconds(), 30.0);
+  EXPECT_GT(accountant.energy_j(id), 0.0);
+}
+
+TEST_F(MeteringLoopTest, RunInvokesCallbackPerPeriod) {
+  sim::PhysicalMachine machine(spec_, 1);
+  const auto id = machine.hypervisor().create_vm(
+      common::demo_c_vm(), std::make_unique<wl::ConstantWorkload>(
+                               StateVector::cpu_only(0.5)));
+  machine.hypervisor().start_vm(id);
+  ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);
+  MeteringLoop loop(machine, estimator, 0.5);
+  int calls = 0;
+  double total_phi = 0.0;
+  loop.run(5.0, [&](const MeteringSample& sample) {
+    ++calls;
+    total_phi += std::accumulate(sample.phi.begin(), sample.phi.end(), 0.0);
+  });
+  EXPECT_EQ(calls, 10);
+  EXPECT_GT(total_phi, 0.0);
+}
+
+TEST_F(MeteringLoopTest, Validation) {
+  sim::PhysicalMachine machine(spec_, 1);
+  ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);
+  EXPECT_THROW(MeteringLoop(machine, estimator, 0.0), std::invalid_argument);
+  MeteringLoop loop(machine, estimator);
+  EXPECT_THROW(loop.run(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::core

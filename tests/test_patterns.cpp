@@ -1,0 +1,98 @@
+#include "workload/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vmp::wl {
+namespace {
+
+TEST(OnOffWorkload, SquareWaveShape) {
+  OnOffWorkload w(0.9, 10.0, 5.0, 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(0.0).cpu(), 0.9);
+  EXPECT_DOUBLE_EQ(w.demand(9.9).cpu(), 0.9);
+  EXPECT_DOUBLE_EQ(w.demand(10.0).cpu(), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(14.9).cpu(), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(15.0).cpu(), 0.9);  // next period
+  EXPECT_DOUBLE_EQ(w.demand(-1.0).cpu(), 0.9);  // clamps to start
+}
+
+TEST(OnOffWorkload, DutyCycleAverage) {
+  OnOffWorkload w(1.0, 30.0, 10.0);
+  double sum = 0.0;
+  for (double t = 0.0; t < 400.0; t += 1.0) sum += w.demand(t).cpu();
+  EXPECT_NEAR(sum / 400.0, 0.75, 0.02);
+}
+
+TEST(OnOffWorkload, Validation) {
+  EXPECT_THROW(OnOffWorkload(1.5, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(OnOffWorkload(0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(OnOffWorkload(0.5, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(OnOffWorkload(0.5, 1.0, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(OnOffWorkload(0.5, 1.0, 1.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(PoissonBurstWorkload, MeanLoadMatchesOfferedLoad) {
+  // 5 req/s at 0.1 CPU each -> mean utilization ~0.5 (clamped tail shaves a
+  // little).
+  PoissonBurstWorkload w(5.0, 0.1, /*seed=*/7);
+  double sum = 0.0;
+  const int seconds = 5000;
+  for (int t = 0; t < seconds; ++t) sum += w.demand(t).cpu();
+  EXPECT_NEAR(sum / seconds, 0.49, 0.03);
+}
+
+TEST(PoissonBurstWorkload, IsBursty) {
+  PoissonBurstWorkload w(3.0, 0.15, /*seed=*/9);
+  double lo = 1.0, hi = 0.0;
+  for (int t = 0; t < 500; ++t) {
+    const double u = w.demand(t).cpu();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LE(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_DOUBLE_EQ(lo, 0.0);  // some quiet seconds
+  EXPECT_GT(hi, 0.7);         // some bursts
+}
+
+TEST(PoissonBurstWorkload, StableWithinASecond) {
+  PoissonBurstWorkload w(5.0, 0.1, /*seed=*/11);
+  const double u = w.demand(42.0).cpu();
+  EXPECT_DOUBLE_EQ(w.demand(42.7).cpu(), u);
+}
+
+TEST(PoissonBurstWorkload, Validation) {
+  EXPECT_THROW(PoissonBurstWorkload(0.0, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(PoissonBurstWorkload(1.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(PoissonBurstWorkload(1.0, 0.1, 1, 0.0), std::invalid_argument);
+}
+
+TEST(DiurnalWorkload, TroughAtMidnightCrestAtNoon) {
+  DiurnalWorkload w(0.2, 0.9, 1000.0, /*seed=*/3);
+  double midnight = 0.0, noon = 0.0;
+  for (int k = 0; k < 20; ++k) {
+    midnight += w.demand(0.0 + k * 1000.0).cpu();
+    noon += w.demand(500.0 + k * 1000.0).cpu();
+  }
+  EXPECT_NEAR(midnight / 20.0, 0.2, 0.05);
+  EXPECT_NEAR(noon / 20.0, 0.9, 0.05);
+}
+
+TEST(DiurnalWorkload, AlwaysNormalized) {
+  DiurnalWorkload w(0.0, 1.0, 100.0, /*seed=*/5);
+  for (double t = 0.0; t < 300.0; t += 1.0)
+    ASSERT_TRUE(w.demand(t).is_normalized()) << t;
+}
+
+TEST(DiurnalWorkload, Validation) {
+  EXPECT_THROW(DiurnalWorkload(0.9, 0.2, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiurnalWorkload(-0.1, 0.5, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiurnalWorkload(0.2, 1.1, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiurnalWorkload(0.2, 0.9, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiurnalWorkload(0.2, 0.9, 100.0, 1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::wl

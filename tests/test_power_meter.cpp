@@ -1,0 +1,67 @@
+#include "sim/power_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace vmp::sim {
+namespace {
+
+TEST(PowerMeter, NoiselessMeterIsExactUpToQuantum) {
+  PowerMeter meter(0.0, 0.1, /*seed=*/1);
+  EXPECT_DOUBLE_EQ(meter.read(150.04), 150.0);
+  EXPECT_DOUBLE_EQ(meter.read(150.06), 150.1);
+}
+
+TEST(PowerMeter, ZeroQuantumPassesValueThrough) {
+  PowerMeter meter(0.0, 0.0, 1);
+  EXPECT_DOUBLE_EQ(meter.read(151.2345), 151.2345);
+}
+
+TEST(PowerMeter, NoiseIsUnbiasedWithRequestedSigma) {
+  PowerMeter meter(0.5, 0.0, /*seed=*/2);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(meter.read(100.0));
+  EXPECT_NEAR(stats.mean(), 100.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 0.5, 0.02);
+}
+
+TEST(PowerMeter, NeverReadsNegative) {
+  PowerMeter meter(10.0, 0.0, /*seed=*/3);
+  for (int i = 0; i < 1000; ++i) ASSERT_GE(meter.read(0.5), 0.0);
+}
+
+TEST(PowerMeter, Validation) {
+  EXPECT_THROW(PowerMeter(-0.1, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(PowerMeter(0.0, -0.1, 1), std::invalid_argument);
+}
+
+TEST(SerialMeterPort, FrameFieldsConsistent) {
+  SerialMeterPort port(PowerMeter(0.0, 0.0, 1), 230.0);
+  const MeterFrame frame = port.read_frame(230.0, 1.0);
+  EXPECT_DOUBLE_EQ(frame.active_power_w, 230.0);
+  EXPECT_DOUBLE_EQ(frame.voltage_v, 230.0);
+  EXPECT_DOUBLE_EQ(frame.current_a, 1.0);
+}
+
+TEST(SerialMeterPort, EnergyAccumulates) {
+  SerialMeterPort port(PowerMeter(0.0, 0.0, 1));
+  // 3600 W for 1 s = 1 Wh.
+  (void)port.read_frame(3600.0, 1.0);
+  EXPECT_NEAR(port.total_energy_wh(), 1.0, 1e-12);
+  (void)port.read_frame(3600.0, 1.0);
+  EXPECT_NEAR(port.total_energy_wh(), 2.0, 1e-12);
+}
+
+TEST(SerialMeterPort, Validation) {
+  EXPECT_THROW(SerialMeterPort(PowerMeter(0.0, 0.0, 1), 0.0),
+               std::invalid_argument);
+  SerialMeterPort port(PowerMeter(0.0, 0.0, 1));
+  EXPECT_THROW(port.read_frame(100.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::sim

@@ -1,0 +1,191 @@
+#include "sim/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vmp::sim {
+namespace {
+
+MachineSpec quiet_xeon() {
+  MachineSpec spec = xeon_prototype();
+  spec.meter_noise_sigma_w = 0.0;
+  spec.meter_quantum_w = 0.0;
+  spec.affinity_jitter = 0.0;
+  return spec;
+}
+
+std::vector<VcpuDemand> one_vcpu_per_vm(std::size_t n, double util,
+                                        double intensity = 1.0) {
+  std::vector<VcpuDemand> demands;
+  for (std::size_t i = 0; i < n; ++i) demands.push_back({i, util, intensity});
+  return demands;
+}
+
+TEST(ComputePower, IdleMachineDrawsIdleFloor) {
+  const MachineSpec spec = quiet_xeon();
+  const Placement empty(spec.topology.logical_cpus());
+  const PowerBreakdown p = compute_power(spec, empty, {});
+  EXPECT_DOUBLE_EQ(p.total(), spec.idle_power_w);
+  EXPECT_DOUBLE_EQ(p.adjusted(), 0.0);
+}
+
+TEST(ComputePower, SingleThreadLinearInLoad) {
+  const MachineSpec spec = quiet_xeon();
+  for (double u : {0.25, 0.5, 1.0}) {
+    const Placement p =
+        place(spec.topology, one_vcpu_per_vm(1, u), PlacementMode::kSpread);
+    const std::vector<VmLoad> loads = {{u, 0.0, 0.0}};
+    const PowerBreakdown power = compute_power(spec, p, loads);
+    EXPECT_NEAR(power.cpu_dynamic, spec.thread_full_power_w * u, 1e-12);
+  }
+}
+
+TEST(ComputePower, SiblingContentionIsSubAdditive) {
+  // The paper's Sec. III phenomenon: the second sibling thread adds only
+  // (1 - gamma) of its nominal power.
+  const MachineSpec spec = quiet_xeon();
+  const auto demands = one_vcpu_per_vm(2, 1.0);
+  const Placement packed = place(spec.topology, demands, PlacementMode::kPack);
+  const std::vector<VmLoad> loads = {{1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+  const PowerBreakdown p = compute_power(spec, packed, loads);
+  const double expected =
+      spec.thread_full_power_w * (2.0 - spec.smt_contention);
+  EXPECT_NEAR(p.cpu_dynamic, expected, 1e-12);
+
+  const Placement spreaded = place(spec.topology, demands, PlacementMode::kSpread);
+  const PowerBreakdown q = compute_power(spec, spreaded, loads);
+  EXPECT_NEAR(q.cpu_dynamic, 2.0 * spec.thread_full_power_w, 1e-12);
+  EXPECT_LT(p.cpu_dynamic, q.cpu_dynamic);
+}
+
+TEST(ComputePower, ContentionScalesWithOverlapOnly) {
+  // Overlap is min(e1, e2): an idle sibling costs nothing extra.
+  const MachineSpec spec = quiet_xeon();
+  const std::vector<VcpuDemand> demands = {{0, 1.0, 1.0}, {1, 0.3, 1.0}};
+  const Placement packed = place(spec.topology, demands, PlacementMode::kPack);
+  const PowerBreakdown p = compute_power(
+      spec, packed, std::vector<VmLoad>{{1.0, 0, 0}, {0.3, 0, 0}});
+  const double expected =
+      spec.thread_full_power_w * (1.3 - spec.smt_contention * 0.3);
+  EXPECT_NEAR(p.cpu_dynamic, expected, 1e-12);
+}
+
+TEST(ComputePower, IntensityScalesThreadPower) {
+  const MachineSpec spec = quiet_xeon();
+  const Placement p = place(spec.topology, one_vcpu_per_vm(1, 1.0, 1.1),
+                            PlacementMode::kSpread);
+  const PowerBreakdown power =
+      compute_power(spec, p, std::vector<VmLoad>{{1.1, 0, 0}});
+  EXPECT_NEAR(power.cpu_dynamic, 1.1 * spec.thread_full_power_w, 1e-12);
+}
+
+TEST(ComputePower, LlcPenaltyBetweenDistinctVmsOnly) {
+  MachineSpec spec = quiet_xeon();
+  spec.llc_contention_w = 0.5;
+  const Placement p = place(spec.topology, one_vcpu_per_vm(2, 1.0),
+                            PlacementMode::kSpread);
+  // One VM with demand 2.0 has no pair -> no penalty.
+  const PowerBreakdown solo =
+      compute_power(spec, p, std::vector<VmLoad>{{2.0, 0, 0}});
+  EXPECT_DOUBLE_EQ(solo.llc_penalty, 0.0);
+  // Two VMs with demands 1.0 each -> penalty 0.5 * min(1,1).
+  const PowerBreakdown pair =
+      compute_power(spec, p, std::vector<VmLoad>{{1.0, 0, 0}, {1.0, 0, 0}});
+  EXPECT_NEAR(pair.llc_penalty, 0.5, 1e-12);
+}
+
+TEST(ComputePower, LlcPenaltyCapped) {
+  MachineSpec spec = quiet_xeon();
+  spec.llc_contention_w = 1000.0;  // absurd coupling
+  const Placement p = place(spec.topology, one_vcpu_per_vm(2, 1.0),
+                            PlacementMode::kSpread);
+  const PowerBreakdown power =
+      compute_power(spec, p, std::vector<VmLoad>{{1.0, 0, 0}, {1.0, 0, 0}});
+  EXPECT_LE(power.llc_penalty, 0.25 * power.cpu_dynamic + 1e-12);
+  EXPECT_GT(power.total(), spec.idle_power_w);  // never below idle
+}
+
+TEST(ComputePower, MemoryAndDiskLinearAndCapped) {
+  const MachineSpec spec = quiet_xeon();
+  const Placement empty(spec.topology.logical_cpus());
+  // Half the host DRAM resident -> half the DRAM power.
+  const PowerBreakdown half_mem = compute_power(
+      spec, empty,
+      std::vector<VmLoad>{{0.0, spec.memory_mb / 2.0, 0.0}});
+  EXPECT_NEAR(half_mem.memory, spec.memory_power_w / 2.0, 1e-9);
+  // Oversubscribed DRAM accounting saturates at the device maximum.
+  const PowerBreakdown over_mem = compute_power(
+      spec, empty, std::vector<VmLoad>{{0.0, spec.memory_mb * 3.0, 0.0}});
+  EXPECT_DOUBLE_EQ(over_mem.memory, spec.memory_power_w);
+  // Disk saturates likewise.
+  const PowerBreakdown disk = compute_power(
+      spec, empty, std::vector<VmLoad>{{0.0, 0.0, 0.7}, {0.0, 0.0, 0.7}});
+  EXPECT_DOUBLE_EQ(disk.disk, spec.disk_power_w);
+}
+
+TEST(ComputePower, PlacementSizeValidated) {
+  const MachineSpec spec = quiet_xeon();
+  const Placement wrong(3);
+  EXPECT_THROW(compute_power(spec, wrong, {}), std::invalid_argument);
+}
+
+TEST(BlendedPower, InterpolatesBetweenModes) {
+  const MachineSpec spec = quiet_xeon();
+  const auto demands = one_vcpu_per_vm(2, 1.0);
+  const std::vector<VmLoad> loads = {{1.0, 0, 0}, {1.0, 0, 0}};
+  const PowerBreakdown at0 = blended_power(spec, demands, loads, 0.0);
+  const PowerBreakdown at1 = blended_power(spec, demands, loads, 1.0);
+  const PowerBreakdown mid = blended_power(spec, demands, loads, 0.5);
+  EXPECT_NEAR(mid.cpu_dynamic, 0.5 * (at0.cpu_dynamic + at1.cpu_dynamic), 1e-12);
+  EXPECT_GT(at0.cpu_dynamic, at1.cpu_dynamic);  // spread draws more
+  EXPECT_THROW(blended_power(spec, demands, loads, 1.5), std::invalid_argument);
+}
+
+TEST(ExpectedPower, UsesSpecAffinity) {
+  MachineSpec spec = quiet_xeon();
+  spec.pack_affinity = 0.25;
+  const auto demands = one_vcpu_per_vm(2, 1.0);
+  const std::vector<VmLoad> loads = {{1.0, 0, 0}, {1.0, 0, 0}};
+  const PowerBreakdown expected = expected_power(spec, demands, loads);
+  const PowerBreakdown manual = blended_power(spec, demands, loads, 0.25);
+  EXPECT_DOUBLE_EQ(expected.total(), manual.total());
+}
+
+TEST(PowerBreakdown, TotalAndAdjustedConsistent) {
+  PowerBreakdown p;
+  p.idle = 138.0;
+  p.cpu_dynamic = 20.0;
+  p.llc_penalty = 1.0;
+  p.memory = 2.0;
+  p.disk = 3.0;
+  EXPECT_DOUBLE_EQ(p.total(), 162.0);
+  EXPECT_DOUBLE_EQ(p.adjusted(), 24.0);
+}
+
+TEST(MachineSpec, PresetsValid) {
+  EXPECT_NO_THROW(xeon_prototype().validate());
+  EXPECT_NO_THROW(pentium_desktop().validate());
+  EXPECT_EQ(xeon_prototype().topology.logical_cpus(), 16u);
+  // SMT gamma plus the LLC coupling reproduce the paper's 46.15 %.
+  EXPECT_NEAR(xeon_prototype().smt_contention, 0.4425, 1e-9);
+  EXPECT_NEAR(pentium_desktop().smt_contention, 0.2355, 1e-9);
+}
+
+TEST(MachineSpec, ValidationCatchesBadParameters) {
+  MachineSpec spec = xeon_prototype();
+  spec.smt_contention = 1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = xeon_prototype();
+  spec.thread_full_power_w = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = xeon_prototype();
+  spec.pack_affinity = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = xeon_prototype();
+  spec.idle_power_w = -1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::sim

@@ -1,0 +1,161 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace vmp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NearbySeedsDecorrelated) {
+  // SplitMix64 seeding must break the correlation of consecutive seeds.
+  Rng a(1000), b(1001);
+  double matching_bits = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = a(), y = b();
+    matching_bits += std::popcount(x ^ y);
+  }
+  // Expect ~32 differing bits per word on average.
+  EXPECT_NEAR(matching_bits / 64.0, 32.0, 6.0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.5, 7.5);
+    ASSERT_GE(u, 2.5);
+    ASSERT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_u64(10)];
+  for (int c : counts) EXPECT_NEAR(c, draws / 10, draws / 10 / 5);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(12);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(14);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 50000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, ShuffleUniformFirstPosition) {
+  Rng rng(16);
+  std::vector<int> counts(5, 0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<int> v = {0, 1, 2, 3, 4};
+    rng.shuffle(v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 4000, 450);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  // Regression pin: the seeding recipe must not silently change, or every
+  // recorded experiment would shift.
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+}  // namespace
+}  // namespace vmp::util

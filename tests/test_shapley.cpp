@@ -1,0 +1,186 @@
+#include "core/shapley.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace vmp::core {
+namespace {
+
+using common::StateVector;
+
+TEST(ShapleyWeight, MatchesPaperFormula) {
+  // 1 / ((n - s) * C(n, s)).
+  EXPECT_DOUBLE_EQ(shapley_weight(2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(shapley_weight(2, 1), 0.5);
+  EXPECT_DOUBLE_EQ(shapley_weight(3, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(shapley_weight(3, 1), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(shapley_weight(3, 2), 1.0 / 3.0);
+  EXPECT_THROW(shapley_weight(3, 3), std::invalid_argument);
+  EXPECT_THROW(shapley_weight(0, 0), std::invalid_argument);
+}
+
+TEST(ShapleyWeight, SumsToOneOverAllSubsets) {
+  // Σ_{S ⊆ N\{i}} weight(|S|) = 1 for any i: the weights form a probability
+  // distribution over arrival positions.
+  for (std::size_t n : {2u, 5u, 10u, 16u}) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      // number of subsets of N\{i} with size s: C(n-1, s)
+      double binom = 1.0;
+      for (std::size_t j = 0; j < s; ++j)
+        binom = binom * static_cast<double>(n - 1 - j) / static_cast<double>(j + 1);
+      sum += binom * shapley_weight(n, s);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Shapley, PaperFig6TwoVmGame) {
+  // v({1}) = v({2}) = 13, v({1,2}) = 20 -> 10 W each (paper Sec. IV-B).
+  const WorthFn v = [](Coalition s) {
+    switch (s.size()) {
+      case 0: return 0.0;
+      case 1: return 13.0;
+      default: return 20.0;
+    }
+  };
+  const auto phi = shapley_values(2, v);
+  EXPECT_NEAR(phi[0], 10.0, 1e-12);
+  EXPECT_NEAR(phi[1], 10.0, 1e-12);
+}
+
+TEST(Shapley, AdditiveGameGivesSingletonWorths) {
+  const double w[4] = {3.0, 5.0, 7.0, 11.0};
+  const WorthFn v = [&](Coalition s) {
+    double sum = 0.0;
+    for (Player i : s.members()) sum += w[i];
+    return sum;
+  };
+  const auto phi = shapley_values(4, v);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(phi[i], w[i], 1e-12);
+}
+
+TEST(Shapley, GloveMarketGame) {
+  // Classic 3-player glove game: players 0,1 hold left gloves, player 2 the
+  // right glove; v = 1 iff the coalition holds both kinds.
+  const WorthFn v = [](Coalition s) {
+    const bool left = s.contains(0) || s.contains(1);
+    const bool right = s.contains(2);
+    return left && right ? 1.0 : 0.0;
+  };
+  const auto phi = shapley_values(3, v);
+  EXPECT_NEAR(phi[0], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phi[1], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(phi[2], 4.0 / 6.0, 1e-12);
+}
+
+TEST(Shapley, DummyPlayerGetsZero) {
+  const WorthFn v = [](Coalition s) {
+    return s.contains(0) ? 10.0 : 0.0;  // player 1 is a dummy
+  };
+  const auto phi = shapley_values(2, v);
+  EXPECT_NEAR(phi[0], 10.0, 1e-12);
+  EXPECT_NEAR(phi[1], 0.0, 1e-12);
+}
+
+TEST(Shapley, Validation) {
+  const WorthFn v = [](Coalition) { return 0.0; };
+  EXPECT_THROW(shapley_values(0, v), std::invalid_argument);
+  EXPECT_THROW(shapley_values(kMaxPlayers + 1, v), std::invalid_argument);
+}
+
+TEST(Shapley, PaperFig7ScenarioA) {
+  // Fig. 7(a): VM2 and VM3 competing lose 1 W; VM1 is uninvolved.
+  const WorthFn v = [](Coalition s) {
+    const double base = 5.0 * static_cast<double>(s.size());
+    return s.contains(1) && s.contains(2) ? base - 1.0 : base;
+  };
+  const auto phi = shapley_values(3, v);
+  // VM1 never causes a decline -> keeps its stand-alone 5 W.
+  EXPECT_NEAR(phi[0], 5.0, 1e-12);
+  // The 1 W decline is split between the two competitors.
+  EXPECT_NEAR(phi[1], 4.5, 1e-12);
+  EXPECT_NEAR(phi[2], 4.5, 1e-12);
+}
+
+TEST(NondetShapley, ReducesToDeterministicAtFixedStates) {
+  const std::vector<StateVector> states = {StateVector::cpu_only(1.0),
+                                           StateVector::cpu_only(1.0)};
+  const StateWorthFn v = [](Coalition s, std::span<const StateVector> c) {
+    double sum = 0.0;
+    for (Player i : s.members()) sum += 13.0 * c[i].cpu();
+    if (s.size() == 2) sum -= 6.0;
+    return sum;
+  };
+  const auto phi = nondet_shapley_values(states, v);
+  EXPECT_NEAR(phi[0], 10.0, 1e-12);
+  EXPECT_NEAR(phi[1], 10.0, 1e-12);
+}
+
+TEST(NondetShapley, StatesModulateShares) {
+  const std::vector<StateVector> states = {StateVector::cpu_only(1.0),
+                                           StateVector::cpu_only(0.5)};
+  const StateWorthFn v = [](Coalition s, std::span<const StateVector> c) {
+    double sum = 0.0;
+    for (Player i : s.members()) sum += 13.0 * c[i].cpu();
+    return sum;
+  };
+  const auto phi = nondet_shapley_values(states, v);
+  EXPECT_NEAR(phi[0], 13.0, 1e-12);
+  EXPECT_NEAR(phi[1], 6.5, 1e-12);
+}
+
+TEST(NondetShapley, EmptyStatesRejected) {
+  const StateWorthFn v = [](Coalition, std::span<const StateVector>) {
+    return 0.0;
+  };
+  EXPECT_THROW(nondet_shapley_values({}, v), std::invalid_argument);
+}
+
+// Property sweep over random games: efficiency holds for every game, and
+// the allocation is invariant under player relabelling (anonymity).
+class ShapleyRandomGames : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapleyRandomGames, EfficiencyOnRandomGames) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.uniform_u64(6);
+  std::vector<double> worth(std::size_t{1} << n);
+  for (double& w : worth) w = rng.uniform(0.0, 100.0);
+  worth[0] = 0.0;
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  const auto phi = shapley_values(n, v);
+  const double total = std::accumulate(phi.begin(), phi.end(), 0.0);
+  EXPECT_NEAR(total, worth.back(), 1e-9);
+}
+
+TEST_P(ShapleyRandomGames, AnonymityUnderPlayerSwap) {
+  util::Rng rng(GetParam() * 7919 + 1);
+  const std::size_t n = 3;
+  std::vector<double> worth(8);
+  for (double& w : worth) w = rng.uniform(0.0, 50.0);
+  worth[0] = 0.0;
+  const WorthFn v = [&](Coalition s) { return worth[s.mask()]; };
+  // Relabel players 0 <-> 1 and recompute: shares must swap accordingly.
+  const auto swap_mask = [](Coalition::Mask m) {
+    const Coalition::Mask bit0 = (m >> 0) & 1, bit1 = (m >> 1) & 1;
+    return (m & ~3u) | (bit0 << 1) | (bit1 << 0);
+  };
+  const WorthFn v_swapped = [&](Coalition s) {
+    return worth[swap_mask(s.mask())];
+  };
+  const auto phi = shapley_values(n, v);
+  const auto phi_swapped = shapley_values(n, v_swapped);
+  EXPECT_NEAR(phi[0], phi_swapped[1], 1e-9);
+  EXPECT_NEAR(phi[1], phi_swapped[0], 1e-9);
+  EXPECT_NEAR(phi[2], phi_swapped[2], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapleyRandomGames, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace vmp::core

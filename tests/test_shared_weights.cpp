@@ -1,0 +1,80 @@
+#include "core/shared_weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/linear_approx.hpp"
+#include "util/rng.hpp"
+
+namespace vmp::core {
+namespace {
+
+using common::StateVector;
+
+// Table where the true law is combo-independent: power = 13 v0 + 23 v1.
+VscTable additive_table(std::uint64_t seed, double coupling = 0.0) {
+  VscTable table(2, 0.01);
+  util::Rng rng(seed);
+  for (int k = 0; k < 400; ++k) {
+    const double c0 = rng.uniform(0.0, 2.0);
+    const double c1 = rng.uniform(0.0, 1.0);
+    table.record(0b01, {{StateVector::cpu_only(c0), StateVector::zero()}},
+                 13.0 * c0);
+    table.record(0b10, {{StateVector::zero(), StateVector::cpu_only(c1)}},
+                 23.0 * c1);
+    table.record(0b11, {{StateVector::cpu_only(c0), StateVector::cpu_only(c1)}},
+                 13.0 * c0 + 23.0 * c1 - coupling * std::min(c0, c1));
+  }
+  return table;
+}
+
+TEST(SharedWeights, RecoversAdditiveLaw) {
+  const auto approx = SharedWeightApprox::fit(additive_table(1));
+  EXPECT_EQ(approx.num_vhcs(), 2u);
+  EXPECT_NEAR(approx.weights()[0], 13.0, 0.05);
+  EXPECT_NEAR(approx.weights()[common::kNumComponents], 23.0, 0.05);
+  EXPECT_NEAR(approx.fit_rmse(), 0.0, 0.08);  // 0.01-quantization residual
+  EXPECT_EQ(approx.sample_count(), 1200u);
+}
+
+TEST(SharedWeights, PredictsUnmeasuredCombosByConstruction) {
+  // Unlike the per-combo model, shared weights answer any combination.
+  VscTable table(2, 0.01);
+  util::Rng rng(2);
+  for (int k = 0; k < 200; ++k) {
+    const double c = rng.uniform(0.0, 1.5);
+    table.record(0b01, {{StateVector::cpu_only(c), StateVector::zero()}},
+                 10.0 * c);
+    table.record(0b10, {{StateVector::zero(), StateVector::cpu_only(c)}},
+                 30.0 * c);
+  }
+  const auto approx = SharedWeightApprox::fit(table);
+  const double joint = approx.predict(
+      {{StateVector::cpu_only(1.0), StateVector::cpu_only(1.0)}});
+  EXPECT_NEAR(joint, 40.0, 0.3);
+}
+
+TEST(SharedWeights, CouplingBecomesResidual) {
+  // With a cross-VHC coupling the per-combo model fits each combination
+  // exactly while the shared model absorbs the coupling as residual error —
+  // the accuracy price of linear-in-types measurement cost.
+  const double coupling = 4.0;
+  const auto table = additive_table(3, coupling);
+  const auto shared = SharedWeightApprox::fit(table);
+  const auto per_combo = VhcLinearApprox::fit(table);
+  EXPECT_GT(shared.fit_rmse(), 0.3);
+  EXPECT_LT(per_combo.fit_rmse(0b11), shared.fit_rmse() + 1e-9);
+}
+
+TEST(SharedWeights, Validation) {
+  const VscTable empty(1, 0.01);
+  EXPECT_THROW(SharedWeightApprox::fit(empty), std::invalid_argument);
+  const auto table = additive_table(4);
+  EXPECT_THROW(SharedWeightApprox::fit(table, -1.0), std::invalid_argument);
+  const auto approx = SharedWeightApprox::fit(table);
+  EXPECT_THROW(approx.predict({{StateVector::zero()}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::core

@@ -1,0 +1,91 @@
+#include "workload/spec_suite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vmp::wl {
+namespace {
+
+TEST(SpecSuite, SubsetMatchesTableV) {
+  const auto subset = spec_subset();
+  ASSERT_EQ(subset.size(), 7u);
+  EXPECT_STREQ(to_string(subset[0]), "gcc");
+  EXPECT_STREQ(to_string(subset[3]), "omnetpp");
+  EXPECT_STREQ(to_string(subset[6]), "tonto");
+}
+
+TEST(SpecSuite, IntCodesRunCoolerThanFpCodes) {
+  // SPECint mixes draw less power per unit utilization than the calibration
+  // mix; SPECfp draw more — the signature that breaks the linear fit.
+  for (SpecBenchmark b : {SpecBenchmark::kGcc, SpecBenchmark::kGobmk,
+                          SpecBenchmark::kSjeng, SpecBenchmark::kOmnetpp})
+    EXPECT_LT(spec_profile(b).power_intensity, 1.0) << to_string(b);
+  for (SpecBenchmark b :
+       {SpecBenchmark::kNamd, SpecBenchmark::kWrf, SpecBenchmark::kTonto})
+    EXPECT_GT(spec_profile(b).power_intensity, 1.0) << to_string(b);
+}
+
+TEST(SpecSuite, MemoryBoundCodesCarryMemoryState) {
+  EXPECT_GT(spec_profile(SpecBenchmark::kOmnetpp).memory_util, 0.4);
+  EXPECT_GT(spec_profile(SpecBenchmark::kWrf).memory_util, 0.3);
+  EXPECT_LT(spec_profile(SpecBenchmark::kSjeng).memory_util, 0.3);
+}
+
+TEST(SpecWorkload, StatesAlwaysNormalized) {
+  for (SpecBenchmark b : spec_subset()) {
+    SpecWorkload w(b, /*seed=*/17);
+    for (double t = 0.0; t < 300.0; t += 1.0)
+      ASSERT_TRUE(w.demand(t).is_normalized()) << to_string(b) << " t=" << t;
+  }
+}
+
+TEST(SpecWorkload, MeanUtilizationNearProfileBase) {
+  for (SpecBenchmark b : spec_subset()) {
+    SpecWorkload w(b, /*seed=*/23);
+    double sum = 0.0;
+    int n = 0;
+    for (double t = 0.0; t < 2000.0; t += 1.0) {
+      sum += w.demand(t).cpu();
+      ++n;
+    }
+    EXPECT_NEAR(sum / n, w.profile().base_cpu, 0.06) << to_string(b);
+  }
+}
+
+TEST(SpecWorkload, PhaseStructureVisible) {
+  // Within a phase the level is a plateau (plus jitter); across phases it
+  // moves by up to cpu_swing.
+  SpecWorkload w(SpecBenchmark::kGcc, /*seed=*/31);
+  const auto profile = w.profile();
+  const double u_early = w.demand(1.0).cpu();
+  const double u_same_phase = w.demand(2.0).cpu();
+  EXPECT_NEAR(u_early, u_same_phase, 5.0 * profile.jitter + 1e-9);
+}
+
+TEST(SpecWorkload, DifferentSeedsDifferentTraces) {
+  SpecWorkload a(SpecBenchmark::kWrf, 1);
+  SpecWorkload b(SpecBenchmark::kWrf, 2);
+  int distinct = 0;
+  for (double t = 0.0; t < 100.0; t += 1.0)
+    if (a.demand(t).cpu() != b.demand(t).cpu()) ++distinct;
+  EXPECT_GT(distinct, 50);
+}
+
+TEST(SpecWorkload, NameMatchesBenchmark) {
+  SpecWorkload w(SpecBenchmark::kTonto, 1);
+  EXPECT_EQ(w.name(), "tonto");
+  const auto ptr = make_spec_workload(SpecBenchmark::kNamd, 2);
+  EXPECT_EQ(ptr->name(), "namd");
+}
+
+TEST(SpecWorkload, IntensitySpreadIsModest) {
+  // The residuals of Fig. 10 are a few percent, not 2x: intensities must
+  // stay within a narrow band around 1.
+  for (SpecBenchmark b : spec_subset()) {
+    const double mu = spec_profile(b).power_intensity;
+    EXPECT_GT(mu, 0.85) << to_string(b);
+    EXPECT_LT(mu, 1.15) << to_string(b);
+  }
+}
+
+}  // namespace
+}  // namespace vmp::wl

@@ -1,0 +1,110 @@
+#include "common/state_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace vmp::common {
+namespace {
+
+TEST(StateVector, DefaultIsZero) {
+  const StateVector s;
+  EXPECT_DOUBLE_EQ(s.cpu(), 0.0);
+  EXPECT_DOUBLE_EQ(s.memory(), 0.0);
+  EXPECT_DOUBLE_EQ(s.disk_io(), 0.0);
+  EXPECT_DOUBLE_EQ(s.net_io(), 0.0);
+  EXPECT_EQ(s, StateVector::zero());
+}
+
+TEST(StateVector, CpuOnlyFactory) {
+  const StateVector s = StateVector::cpu_only(0.75);
+  EXPECT_DOUBLE_EQ(s.cpu(), 0.75);
+  EXPECT_DOUBLE_EQ(s.memory(), 0.0);
+}
+
+TEST(StateVector, ComponentIndexing) {
+  StateVector s;
+  s[Component::kMemory] = 0.5;
+  s[Component::kNetIo] = 0.25;
+  EXPECT_DOUBLE_EQ(s[Component::kMemory], 0.5);
+  EXPECT_DOUBLE_EQ(s.net_io(), 0.25);
+}
+
+TEST(StateVector, VectorArithmetic) {
+  StateVector a = StateVector::cpu_only(0.4);
+  StateVector b = StateVector::cpu_only(0.5);
+  b[Component::kMemory] = 0.2;
+  const StateVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.cpu(), 0.9);
+  EXPECT_DOUBLE_EQ(sum.memory(), 0.2);
+  const StateVector diff = sum - a;
+  EXPECT_DOUBLE_EQ(diff.cpu(), 0.5);
+  const StateVector scaled = b * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.cpu(), 1.0);
+  EXPECT_DOUBLE_EQ(scaled.memory(), 0.4);
+}
+
+TEST(StateVector, AggregationCanExceedOne) {
+  // VHC aggregated states are sums of per-VM states (paper Eq. 8).
+  StateVector agg;
+  for (int i = 0; i < 4; ++i) agg += StateVector::cpu_only(0.9);
+  EXPECT_DOUBLE_EQ(agg.cpu(), 3.6);
+  EXPECT_FALSE(agg.is_normalized());
+}
+
+TEST(StateVector, DotProduct) {
+  StateVector s = StateVector::cpu_only(0.5);
+  s[Component::kMemory] = 1.0;
+  const std::vector<double> w = {13.15, 12.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(s.dot(w), 0.5 * 13.15 + 12.0);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(s.dot(bad), std::invalid_argument);
+}
+
+TEST(StateVector, IsNormalized) {
+  EXPECT_TRUE(StateVector::cpu_only(1.0).is_normalized());
+  EXPECT_TRUE(StateVector::cpu_only(0.0).is_normalized());
+  EXPECT_FALSE(StateVector::cpu_only(1.01).is_normalized());
+  EXPECT_FALSE(StateVector::cpu_only(-0.01).is_normalized());
+}
+
+TEST(StateVector, Clamped) {
+  StateVector s = StateVector::cpu_only(1.5);
+  s[Component::kMemory] = -0.5;
+  const StateVector c = s.clamped();
+  EXPECT_DOUBLE_EQ(c.cpu(), 1.0);
+  EXPECT_DOUBLE_EQ(c.memory(), 0.0);
+  EXPECT_TRUE(c.is_normalized());
+}
+
+TEST(StateVector, QuantizedToResolution) {
+  const StateVector s = StateVector::cpu_only(0.4449);
+  EXPECT_DOUBLE_EQ(s.quantized(0.01).cpu(), 0.44);
+  EXPECT_DOUBLE_EQ(StateVector::cpu_only(0.4450001).quantized(0.01).cpu(), 0.45);
+  EXPECT_THROW(s.quantized(0.0), std::invalid_argument);
+  EXPECT_THROW(s.quantized(-0.01), std::invalid_argument);
+}
+
+TEST(StateVector, MaxAbsDiff) {
+  StateVector a = StateVector::cpu_only(0.5);
+  StateVector b = StateVector::cpu_only(0.8);
+  b[Component::kDiskIo] = 0.1;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.3);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(a), 0.0);
+}
+
+TEST(StateVector, ToStringMentionsComponents) {
+  const std::string repr = StateVector::cpu_only(0.5).to_string();
+  EXPECT_NE(repr.find("cpu=0.500"), std::string::npos);
+}
+
+TEST(Component, Names) {
+  EXPECT_STREQ(to_string(Component::kCpu), "cpu");
+  EXPECT_STREQ(to_string(Component::kMemory), "memory");
+  EXPECT_STREQ(to_string(Component::kDiskIo), "disk_io");
+  EXPECT_STREQ(to_string(Component::kNetIo), "net_io");
+}
+
+}  // namespace
+}  // namespace vmp::common

@@ -1,0 +1,126 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vmp::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 4.571428571, 1e-8);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+  EXPECT_THROW(min_of({}), std::invalid_argument);
+  EXPECT_THROW(max_of({}), std::invalid_argument);
+  const std::vector<double> xs = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 1.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 10.0), 0.0);
+  // Floor guards near-zero truths.
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 0.0, 2.0), 0.5);
+}
+
+TEST(Stats, EcdfAndFractionBelow) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ecdf(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below({}, 1.0), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Rng rng(3);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_of(xs));
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(4);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    (i < 200 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Summary, FieldsConsistent) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace vmp::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace vmp::util {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RowWidthChecked) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RenderContainsAllCells) {
+  TablePrinter t({"VM", "Power"});
+  t.add_row({"C_VM", "10 W"});
+  t.add_row({"C_VM'", "10 W"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("VM"), std::string::npos);
+  EXPECT_NE(out.find("C_VM'"), std::string::npos);
+  EXPECT_NE(out.find("10 W"), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsAlignedToWidestCell) {
+  TablePrinter t({"x"});
+  t.add_row({"very-long-cell"});
+  const std::string out = t.render();
+  // Every line (rules and rows) must have the same width.
+  std::size_t line_len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (line_len == std::string::npos) line_len = len;
+    EXPECT_EQ(len, line_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(TablePrinter, NumericFormatters) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(10.0, 0), "10");
+  EXPECT_EQ(TablePrinter::pct(0.4615, 2), "46.15%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(old_level);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(Logging, FilteredMessagesDoNotCrash) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kOff);
+  VMP_LOG_DEBUG("suppressed %d", 1);
+  VMP_LOG_ERROR("also suppressed %s", "x");
+  set_log_level(old_level);
+}
+
+}  // namespace
+}  // namespace vmp::util

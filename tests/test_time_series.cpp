@@ -1,0 +1,101 @@
+#include "util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vmp::util {
+namespace {
+
+TEST(TimeSeries, ConstructionValidation) {
+  EXPECT_THROW(TimeSeries(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(0.0, -1.0), std::invalid_argument);
+  const TimeSeries ts(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(ts.start(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.period(), 2.0);
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(TimeSeries, PushAndTimestamps) {
+  TimeSeries ts(10.0, 1.0);
+  ts.push(1.0);
+  ts.push(2.0);
+  ts.push(3.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.time_at(0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.time_at(2), 12.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1), 2.0);
+  EXPECT_THROW(ts.time_at(3), std::out_of_range);
+  EXPECT_THROW(ts.value_at(3), std::out_of_range);
+}
+
+TEST(TimeSeries, SampleAtZeroOrderHold) {
+  TimeSeries ts(0.0, 1.0);
+  ts.push(10.0);
+  ts.push(20.0);
+  ts.push(30.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(0.9), 10.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.sample_at(100.0), 30.0);  // holds last value
+  EXPECT_THROW(ts.sample_at(-0.1), std::out_of_range);
+}
+
+TEST(TimeSeries, SampleAtEmptyThrows) {
+  TimeSeries ts;
+  EXPECT_THROW(ts.sample_at(0.0), std::out_of_range);
+}
+
+TEST(TimeSeries, IntegrateTrapezoid) {
+  TimeSeries ts(0.0, 1.0);
+  ts.push(0.0);
+  ts.push(2.0);
+  ts.push(2.0);
+  // 0->2 over 1 s (area 1) + 2->2 over 1 s (area 2) = 3 value-seconds.
+  EXPECT_DOUBLE_EQ(ts.integrate(), 3.0);
+}
+
+TEST(TimeSeries, IntegrateDegenerate) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.integrate(), 0.0);
+  ts.push(100.0);
+  EXPECT_DOUBLE_EQ(ts.integrate(), 0.0);  // single sample spans no time
+}
+
+TEST(TimeSeries, SubtractTruncatesToShorter) {
+  TimeSeries a(0.0, 1.0), b(0.0, 1.0);
+  a.push(10.0);
+  a.push(20.0);
+  a.push(30.0);
+  b.push(1.0);
+  b.push(2.0);
+  const TimeSeries d = a - b;
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 9.0);
+  EXPECT_DOUBLE_EQ(d[1], 18.0);
+}
+
+TEST(TimeSeries, SubtractPeriodMismatchThrows) {
+  TimeSeries a(0.0, 1.0), b(0.0, 2.0);
+  EXPECT_THROW(a - b, std::invalid_argument);
+}
+
+TEST(TimeSeries, ShiftedAddsOffset) {
+  TimeSeries ts(0.0, 1.0);
+  ts.push(140.0);
+  ts.push(150.0);
+  const TimeSeries adjusted = ts.shifted(-138.0);
+  EXPECT_DOUBLE_EQ(adjusted[0], 2.0);
+  EXPECT_DOUBLE_EQ(adjusted[1], 12.0);
+  EXPECT_DOUBLE_EQ(adjusted.period(), 1.0);
+}
+
+TEST(TimeSeries, PowerIntegralIsEnergy) {
+  // 100 W for 10 samples at 1 Hz ~ 900 J by trapezoid over 9 intervals.
+  TimeSeries power(0.0, 1.0);
+  for (int i = 0; i < 10; ++i) power.push(100.0);
+  EXPECT_DOUBLE_EQ(power.integrate(), 900.0);
+}
+
+}  // namespace
+}  // namespace vmp::util

@@ -1,0 +1,114 @@
+#include "core/vhc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/vm_config.hpp"
+
+namespace vmp::core {
+namespace {
+
+using common::StateVector;
+
+TEST(VhcUniverse, ConstructionAndLookup) {
+  const VhcUniverse universe({10, 20, 30});
+  EXPECT_EQ(universe.size(), 3u);
+  EXPECT_EQ(universe.index_of(10), 0u);
+  EXPECT_EQ(universe.index_of(30), 2u);
+  EXPECT_EQ(universe.type_at(1), 20u);
+  EXPECT_TRUE(universe.knows(20));
+  EXPECT_FALSE(universe.knows(99));
+  EXPECT_THROW(universe.index_of(99), std::out_of_range);
+  EXPECT_THROW(universe.type_at(3), std::out_of_range);
+}
+
+TEST(VhcUniverse, ComboCountIsTwoToTheR) {
+  EXPECT_EQ(VhcUniverse({1}).combo_count(), 2u);
+  EXPECT_EQ(VhcUniverse({1, 2, 3, 4}).combo_count(), 16u);  // paper Sec. VII-A
+}
+
+TEST(VhcUniverse, Validation) {
+  EXPECT_THROW(VhcUniverse({}), std::invalid_argument);
+  EXPECT_THROW(VhcUniverse({1, 1}), std::invalid_argument);
+  std::vector<common::VmTypeId> too_many(VhcUniverse::kMaxVhcs + 1);
+  for (std::size_t i = 0; i < too_many.size(); ++i) too_many[i] = i;
+  EXPECT_THROW(VhcUniverse{too_many}, std::invalid_argument);
+}
+
+TEST(VhcUniverse, FromFleetDeduplicatesInFirstSeenOrder) {
+  const auto catalogue = common::paper_vm_catalogue();
+  const std::vector<common::VmConfig> fleet = {
+      catalogue[2], catalogue[0], catalogue[2], catalogue[0]};
+  const VhcUniverse universe = VhcUniverse::from_fleet(fleet);
+  EXPECT_EQ(universe.size(), 2u);
+  EXPECT_EQ(universe.type_at(0), catalogue[2].type_id);
+  EXPECT_EQ(universe.type_at(1), catalogue[0].type_id);
+}
+
+TEST(VhcPartition, GroupsPlayersByType) {
+  const VhcUniverse universe({7, 8});
+  const VhcPartition partition(universe, {7, 8, 7, 7});
+  EXPECT_EQ(partition.player_count(), 4u);
+  EXPECT_EQ(partition.num_vhcs(), 2u);
+  EXPECT_EQ(partition.vhc_of(0), 0u);
+  EXPECT_EQ(partition.vhc_of(1), 1u);
+  EXPECT_EQ(partition.vhc_of(3), 0u);
+  EXPECT_THROW(partition.vhc_of(4), std::out_of_range);
+}
+
+TEST(VhcPartition, UnknownTypeRejected) {
+  const VhcUniverse universe({7});
+  EXPECT_THROW(VhcPartition(universe, {7, 9}), std::out_of_range);
+}
+
+TEST(VhcPartition, ComboOfCoalitions) {
+  const VhcUniverse universe({7, 8, 9});
+  const VhcPartition partition(universe, {7, 8, 7});
+  EXPECT_EQ(partition.combo_of(Coalition::empty()), 0u);
+  EXPECT_EQ(partition.combo_of(Coalition::single(0)), 0b001u);
+  EXPECT_EQ(partition.combo_of(Coalition::single(1)), 0b010u);
+  EXPECT_EQ(partition.combo_of(Coalition{0b101}), 0b001u);  // both type-7 VMs
+  EXPECT_EQ(partition.combo_of(Coalition::grand(3)), 0b011u);
+}
+
+TEST(VhcPartition, AggregateSumsPerVhc) {
+  // Paper Eq. 8: v_j = Σ c_i over the VHC's members in the coalition.
+  const VhcUniverse universe({7, 8});
+  const VhcPartition partition(universe, {7, 8, 7});
+  const std::vector<StateVector> states = {StateVector::cpu_only(0.4),
+                                           StateVector::cpu_only(0.9),
+                                           StateVector::cpu_only(0.5)};
+  const auto all = partition.aggregate(Coalition::grand(3), states);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_NEAR(all[0].cpu(), 0.9, 1e-12);  // 0.4 + 0.5
+  EXPECT_NEAR(all[1].cpu(), 0.9, 1e-12);
+
+  const auto partial = partition.aggregate(Coalition{0b100}, states);
+  EXPECT_NEAR(partial[0].cpu(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(partial[1].cpu(), 0.0);
+}
+
+TEST(VhcPartition, AggregateValidatesStateCount) {
+  const VhcUniverse universe({7});
+  const VhcPartition partition(universe, {7, 7});
+  const std::vector<StateVector> wrong = {StateVector::cpu_only(0.5)};
+  EXPECT_THROW(partition.aggregate(Coalition::grand(2), wrong),
+               std::invalid_argument);
+}
+
+TEST(VhcPartition, AggregatesAllComponents) {
+  const VhcUniverse universe({1});
+  const VhcPartition partition(universe, {1, 1});
+  StateVector a = StateVector::cpu_only(0.2);
+  a[common::Component::kMemory] = 0.3;
+  StateVector b = StateVector::cpu_only(0.4);
+  b[common::Component::kDiskIo] = 0.1;
+  const auto agg = partition.aggregate(Coalition::grand(2), {{a, b}});
+  EXPECT_NEAR(agg[0].cpu(), 0.6, 1e-12);
+  EXPECT_NEAR(agg[0].memory(), 0.3, 1e-12);
+  EXPECT_NEAR(agg[0].disk_io(), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace vmp::core

@@ -1,0 +1,72 @@
+#include "common/vm_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace vmp::common {
+namespace {
+
+TEST(VmConfig, PaperCatalogueMatchesTableIV) {
+  const auto catalogue = paper_vm_catalogue();
+  ASSERT_EQ(catalogue.size(), 4u);
+  EXPECT_EQ(catalogue[0].type_name, "VM1");
+  EXPECT_EQ(catalogue[0].vcpus, 1u);
+  EXPECT_EQ(catalogue[0].memory_mb, 2048u);
+  EXPECT_EQ(catalogue[1].vcpus, 2u);
+  EXPECT_EQ(catalogue[2].vcpus, 4u);
+  EXPECT_EQ(catalogue[3].vcpus, 8u);
+  EXPECT_EQ(catalogue[3].memory_mb, 14336u);
+  EXPECT_EQ(catalogue[3].disk_gb, 100u);
+}
+
+TEST(VmConfig, TypeIdsAreDistinct) {
+  const auto catalogue = paper_vm_catalogue();
+  for (std::size_t i = 0; i < catalogue.size(); ++i)
+    for (std::size_t j = i + 1; j < catalogue.size(); ++j)
+      EXPECT_NE(catalogue[i].type_id, catalogue[j].type_id);
+}
+
+TEST(VmConfig, PaperVmTypeIsOneBased) {
+  EXPECT_EQ(paper_vm_type(1).type_name, "VM1");
+  EXPECT_EQ(paper_vm_type(4).type_name, "VM4");
+  EXPECT_THROW(paper_vm_type(0), std::out_of_range);
+  EXPECT_THROW(paper_vm_type(5), std::out_of_range);
+}
+
+TEST(VmConfig, DemoCVmMatchesSecIII) {
+  const VmConfig c = demo_c_vm();
+  EXPECT_EQ(c.vcpus, 1u);
+  EXPECT_EQ(c.memory_mb, 512u);
+  EXPECT_EQ(c.disk_gb, 8u);
+}
+
+TEST(VmConfig, ValidationRejectsDegenerateShapes) {
+  VmConfig bad = demo_c_vm();
+  bad.vcpus = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = demo_c_vm();
+  bad.memory_mb = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(demo_c_vm().validate());
+}
+
+TEST(Units, JoulesToKwh) {
+  EXPECT_DOUBLE_EQ(joules_to_kwh(3.6e6), 1.0);
+  EXPECT_DOUBLE_EQ(joules_to_kwh(0.0), 0.0);
+}
+
+TEST(Units, WattsToKwh) {
+  // 1000 W for one hour = 1 kWh.
+  EXPECT_DOUBLE_EQ(watts_to_kwh(1000.0, 3600.0), 1.0);
+}
+
+TEST(Units, YearlyKwh) {
+  // The Table I arithmetic: 115 W year-round = 1007.4 kWh.
+  EXPECT_NEAR(yearly_kwh(115.0), 1007.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace vmp::common

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/primitives.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+#include "workload/user_pattern.hpp"
+
+namespace vmp::wl {
+namespace {
+
+using common::Component;
+using common::StateVector;
+
+TEST(IdleWorkload, AlwaysZero) {
+  IdleWorkload idle;
+  EXPECT_EQ(idle.demand(0.0), StateVector::zero());
+  EXPECT_EQ(idle.demand(1e6), StateVector::zero());
+  EXPECT_DOUBLE_EQ(idle.power_intensity(), 1.0);
+}
+
+TEST(ConstantWorkload, HoldsStateAndValidates) {
+  ConstantWorkload w(StateVector::cpu_only(0.6), 1.1);
+  EXPECT_DOUBLE_EQ(w.demand(0.0).cpu(), 0.6);
+  EXPECT_DOUBLE_EQ(w.demand(999.0).cpu(), 0.6);
+  EXPECT_DOUBLE_EQ(w.power_intensity(), 1.1);
+  EXPECT_THROW(ConstantWorkload(StateVector::cpu_only(1.5)),
+               std::invalid_argument);
+  EXPECT_THROW(ConstantWorkload(StateVector::cpu_only(0.5), 0.0),
+               std::invalid_argument);
+}
+
+TEST(StepWorkload, PhasesInOrder) {
+  StepWorkload w({{10.0, StateVector::cpu_only(0.2)},
+                  {10.0, StateVector::cpu_only(0.8)}});
+  EXPECT_DOUBLE_EQ(w.demand(0.0).cpu(), 0.2);
+  EXPECT_DOUBLE_EQ(w.demand(9.99).cpu(), 0.2);
+  EXPECT_DOUBLE_EQ(w.demand(10.0).cpu(), 0.8);
+  EXPECT_DOUBLE_EQ(w.demand(50.0).cpu(), 0.8);  // holds last phase
+  EXPECT_DOUBLE_EQ(w.total_duration(), 20.0);
+}
+
+TEST(StepWorkload, Looping) {
+  StepWorkload w({{5.0, StateVector::cpu_only(0.1)},
+                  {5.0, StateVector::cpu_only(0.9)}},
+                 /*loop=*/true);
+  EXPECT_DOUBLE_EQ(w.demand(2.0).cpu(), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(7.0).cpu(), 0.9);
+  EXPECT_DOUBLE_EQ(w.demand(12.0).cpu(), 0.1);  // wrapped
+}
+
+TEST(StepWorkload, Validation) {
+  EXPECT_THROW(StepWorkload({}), std::invalid_argument);
+  EXPECT_THROW(StepWorkload({{0.0, StateVector::cpu_only(0.5)}}),
+               std::invalid_argument);
+  EXPECT_THROW(StepWorkload({{1.0, StateVector::cpu_only(2.0)}}),
+               std::invalid_argument);
+}
+
+TEST(StepWorkload, NegativeTimeClampsToStart) {
+  StepWorkload w({{5.0, StateVector::cpu_only(0.3)}});
+  EXPECT_DOUBLE_EQ(w.demand(-1.0).cpu(), 0.3);
+}
+
+TEST(RampWorkload, LinearThenHold) {
+  RampWorkload w(0.0, 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(w.demand(0.0).cpu(), 0.0);
+  EXPECT_DOUBLE_EQ(w.demand(5.0).cpu(), 0.5);
+  EXPECT_DOUBLE_EQ(w.demand(10.0).cpu(), 1.0);
+  EXPECT_DOUBLE_EQ(w.demand(20.0).cpu(), 1.0);
+  EXPECT_THROW(RampWorkload(0.0, 1.5, 10.0), std::invalid_argument);
+  EXPECT_THROW(RampWorkload(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(SineWorkload, OscillatesAndClamps) {
+  SineWorkload w(0.9, 0.5, 100.0);  // peaks would exceed 1.0 -> clamped
+  double lo = 1.0, hi = 0.0;
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    const double u = w.demand(t).cpu();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.45);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+  EXPECT_THROW(SineWorkload(0.5, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(RandomWalkWorkload, StaysInBoundsAndMeanReverts) {
+  RandomWalkWorkload w(0.5, 0.05, 0.2, /*seed=*/5);
+  double sum = 0.0;
+  int n = 0;
+  for (double t = 0.0; t < 2000.0; t += 1.0) {
+    const double u = w.demand(t).cpu();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LE(u, 1.0);
+    sum += u;
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.1);
+}
+
+TEST(RandomWalkWorkload, Validation) {
+  EXPECT_THROW(RandomWalkWorkload(1.5, 0.1, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(RandomWalkWorkload(0.5, -0.1, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(RandomWalkWorkload(0.5, 0.1, 1.5, 1), std::invalid_argument);
+}
+
+TEST(SyntheticRandomCpu, DwellsAndRedraws) {
+  SyntheticRandomCpu w(/*seed=*/3, /*dwell_s=*/5.0);
+  const double u0 = w.demand(0.0).cpu();
+  EXPECT_DOUBLE_EQ(w.demand(4.9).cpu(), u0);  // same dwell epoch
+  // Across many epochs the level must change and cover the range.
+  double lo = 1.0, hi = 0.0;
+  for (double t = 0.0; t < 500.0; t += 5.0) {
+    const double u = w.demand(t).cpu();
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.2);
+  EXPECT_GT(hi, 0.8);
+}
+
+TEST(SyntheticRandomCpu, RangeRespected) {
+  SyntheticRandomCpu w(/*seed=*/4, 1.0, 0.3, 0.6);
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    const double u = w.demand(t).cpu();
+    ASSERT_GE(u, 0.3);
+    ASSERT_LE(u, 0.6);
+  }
+  EXPECT_THROW(SyntheticRandomCpu(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(SyntheticRandomCpu(1, 1.0, 0.8, 0.2), std::invalid_argument);
+  EXPECT_THROW(SyntheticRandomCpu(1, 1.0, -0.1, 0.5), std::invalid_argument);
+}
+
+TEST(SyntheticRandomState, RandomizesAllComponents) {
+  SyntheticRandomState w(/*seed=*/6, 1.0);
+  double max_mem = 0.0, max_disk = 0.0;
+  for (double t = 0.0; t < 200.0; t += 1.0) {
+    const StateVector s = w.demand(t);
+    ASSERT_TRUE(s.is_normalized());
+    max_mem = std::max(max_mem, s.memory());
+    max_disk = std::max(max_disk, s.disk_io());
+  }
+  EXPECT_GT(max_mem, 0.5);
+  EXPECT_GT(max_disk, 0.2);
+}
+
+TEST(BcFloatLoop, FullCpuOnly) {
+  BcFloatLoop w;
+  const StateVector s = w.demand(123.0);
+  EXPECT_DOUBLE_EQ(s.cpu(), 1.0);
+  EXPECT_DOUBLE_EQ(s.memory(), 0.0);
+  EXPECT_DOUBLE_EQ(w.power_intensity(), 1.0);
+}
+
+TEST(UserPatterns, UserBUsesOneThirdMoreCpu) {
+  auto a = make_user_a_pattern();
+  auto b = make_user_b_pattern();
+  double sum_a = 0.0, sum_b = 0.0;
+  const double horizon = 5.0 * kUserPatternPhaseSeconds;
+  for (double t = 0.0; t < horizon; t += 10.0) {
+    sum_a += a->demand(t).cpu();
+    sum_b += b->demand(t).cpu();
+  }
+  EXPECT_NEAR(sum_b / sum_a, 4.0 / 3.0, 0.02);  // the paper's "33% more"
+}
+
+TEST(TraceWorkload, ReplayAndHold) {
+  TraceWorkload w({StateVector::cpu_only(0.1), StateVector::cpu_only(0.2)}, 1.0);
+  EXPECT_DOUBLE_EQ(w.demand(0.5).cpu(), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(1.5).cpu(), 0.2);
+  EXPECT_DOUBLE_EQ(w.demand(99.0).cpu(), 0.2);
+  EXPECT_EQ(w.length(), 2u);
+}
+
+TEST(TraceWorkload, Looping) {
+  TraceWorkload w({StateVector::cpu_only(0.1), StateVector::cpu_only(0.2)}, 1.0,
+                  /*loop=*/true);
+  EXPECT_DOUBLE_EQ(w.demand(2.0).cpu(), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(3.0).cpu(), 0.2);
+}
+
+TEST(TraceWorkload, Validation) {
+  EXPECT_THROW(TraceWorkload({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(TraceWorkload({StateVector::zero()}, 0.0), std::invalid_argument);
+  EXPECT_THROW(TraceWorkload({StateVector::zero()}, 1.0, false, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::wl

@@ -1,0 +1,227 @@
+// vmpower — command-line front end for the estimation pipeline.
+//
+// Mirrors how an operator would run the paper's system on a host:
+//
+//   vmpower collect --fleet VM1,VM1,VM2 --duration 300 --out table.vsc
+//       run the offline v(S,C) campaign for the fleet's VHC combinations and
+//       persist the table (Fig. 8, offline path);
+//
+//   vmpower train --table table.vsc --out approx.vhc
+//       fit the VHC linear approximation from a stored table;
+//
+//   vmpower meter --fleet VM1,VM1,VM2 --approx approx.vhc --duration 60
+//       simulate the fleet under SPEC-like load and stream per-VM power
+//       (Fig. 8, online path); optional --csv out.csv;
+//
+//   vmpower bill --fleet ... --approx ... --duration 600 --tariff 0.10
+//       --idle-policy equal|proportional|none
+//       run the meter and print per-VM energy and cost;
+//
+//   vmpower info --approx approx.vhc
+//       dump fitted combinations and weights.
+//
+// Fleet syntax: comma-separated Table IV type names (VM1..VM4). The machine
+// is the calibrated Xeon prototype (--machine pentium for the desktop).
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "common/vm_config.hpp"
+#include "core/accountant.hpp"
+#include "core/collector.hpp"
+#include "core/estimator.hpp"
+#include "core/serialization.hpp"
+#include "sim/physical_machine.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace vmp;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: vmpower <command> [options]
+commands:
+  collect --fleet VM1,VM2,...  --out FILE [--duration S] [--seed N] [--machine xeon|pentium]
+  train   --table FILE --out FILE [--ridge L]
+  meter   --fleet VM1,... --approx FILE [--duration S] [--seed N] [--csv FILE]
+  bill    --fleet VM1,... --approx FILE [--duration S] [--tariff $/kWh] [--idle-policy none|equal|proportional]
+  info    --approx FILE
+)";
+
+sim::MachineSpec machine_for(const util::CliArgs& args) {
+  const std::string name = args.get("machine", "xeon");
+  if (name == "xeon") return sim::xeon_prototype();
+  if (name == "pentium") return sim::pentium_desktop();
+  throw std::invalid_argument("unknown --machine '" + name +
+                              "' (expected xeon or pentium)");
+}
+
+std::vector<common::VmConfig> fleet_for(const util::CliArgs& args) {
+  const auto names = util::split_csv(args.require("fleet"));
+  const auto catalogue = common::paper_vm_catalogue();
+  std::vector<common::VmConfig> fleet;
+  for (const std::string& name : names) {
+    bool found = false;
+    for (const auto& config : catalogue) {
+      if (config.type_name == name) {
+        fleet.push_back(config);
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::invalid_argument("unknown VM type '" + name +
+                                  "' (expected VM1..VM4)");
+  }
+  if (fleet.empty()) throw std::invalid_argument("--fleet is empty");
+  return fleet;
+}
+
+/// Boots the fleet under a SPEC-like mix and returns (machine, vm ids).
+std::vector<sim::VmId> boot_fleet(sim::PhysicalMachine& machine,
+                                  const std::vector<common::VmConfig>& fleet,
+                                  std::uint64_t seed) {
+  const auto benchmarks = wl::spec_subset();
+  std::vector<sim::VmId> ids;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto id = machine.hypervisor().create_vm(
+        fleet[i],
+        wl::make_spec_workload(benchmarks[(seed + i) % benchmarks.size()],
+                               seed * 31 + i));
+    machine.hypervisor().start_vm(id);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+int cmd_collect(const util::CliArgs& args) {
+  const auto fleet = fleet_for(args);
+  core::CollectionOptions options;
+  options.duration_s = args.get_double("duration", 300.0);
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const auto dataset =
+      core::collect_offline_dataset(machine_for(args), fleet, options);
+  const std::string out = args.require("out");
+  core::save_table(dataset.table, out);
+  std::printf("collected %zu samples over %zu VHC combinations -> %s\n",
+              dataset.table.total_samples(), dataset.table.combos().size(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_train(const util::CliArgs& args) {
+  const core::VscTable table = core::load_table(args.require("table"));
+  const auto approx =
+      core::VhcLinearApprox::fit(table, args.get_double("ridge", 1e-6));
+  const std::string out = args.require("out");
+  core::save_approximation(approx, out);
+  std::printf("fitted %zu combinations from %zu samples -> %s\n",
+              approx.fitted_combos().size(), table.total_samples(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_meter(const util::CliArgs& args, bool billing) {
+  const auto fleet = fleet_for(args);
+  const auto approx = core::load_approximation(args.require("approx"));
+  const core::VhcUniverse universe = core::VhcUniverse::from_fleet(fleet);
+  core::ShapleyVhcEstimator estimator(universe, approx);
+
+  sim::PhysicalMachine machine(
+      machine_for(args), static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  const auto ids = boot_fleet(
+      machine, fleet, static_cast<std::uint64_t>(args.get_long("seed", 1)));
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (args.has("csv")) {
+    std::vector<std::string> columns = {"t", "measured_adjusted"};
+    for (const auto id : ids) columns.push_back("vm" + std::to_string(id));
+    csv = std::make_unique<util::CsvWriter>(args.require("csv"), columns);
+  }
+
+  const auto policy_name = args.get("idle-policy", "none");
+  core::IdleAttribution policy = core::IdleAttribution::kNone;
+  if (policy_name == "equal") policy = core::IdleAttribution::kEqualShare;
+  else if (policy_name == "proportional")
+    policy = core::IdleAttribution::kProportional;
+  else if (policy_name != "none")
+    throw std::invalid_argument("unknown --idle-policy '" + policy_name + "'");
+  core::EnergyAccountant accountant(policy);
+
+  const double duration = args.get_double("duration", 60.0);
+  for (double t = 1.0; t <= duration; t += 1.0) {
+    const auto frame = machine.step(1.0);
+    const double adjusted =
+        std::max(0.0, frame.active_power_w - machine.idle_power_w());
+    std::vector<core::VmSample> samples;
+    for (const auto& obs : machine.hypervisor().observations())
+      samples.push_back({obs.id, obs.type_id, obs.state});
+    const auto phi = estimator.estimate(samples, adjusted);
+    accountant.add_sample(samples, phi, machine.idle_power_w(), 1.0);
+
+    if (!billing) {
+      std::printf("t=%6.0f adj=%7.2fW ", t, adjusted);
+      for (std::size_t i = 0; i < phi.size(); ++i)
+        std::printf(" vm%u=%6.2fW", samples[i].vm_id, phi[i]);
+      std::printf("\n");
+    }
+    if (csv) {
+      std::vector<double> row = {t, adjusted};
+      row.insert(row.end(), phi.begin(), phi.end());
+      csv->write_row(row);
+    }
+  }
+
+  if (billing) {
+    const double tariff = args.get_double("tariff", 0.10);
+    util::TablePrinter table({"VM", "type", "energy (kWh)", "cost (USD)"});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      table.add_row({"vm" + std::to_string(ids[i]), fleet[i].type_name,
+                     util::TablePrinter::num(
+                         common::joules_to_kwh(accountant.energy_j(ids[i])), 6),
+                     util::TablePrinter::num(
+                         accountant.bill_usd(ids[i], tariff), 6)});
+    }
+    table.print();
+    std::printf("idle attribution: %s; tariff $%.4f/kWh; horizon %.0f s\n",
+                to_string(accountant.policy()), tariff, duration);
+  }
+  return 0;
+}
+
+int cmd_info(const util::CliArgs& args) {
+  const auto approx = core::load_approximation(args.require("approx"));
+  std::printf("VHC linear approximation: %zu VHCs, %zu fitted combinations\n",
+              approx.num_vhcs(), approx.fitted_combos().size());
+  for (const auto& model : approx.export_models()) {
+    std::printf("combo %u (rmse %.3f W, %zu samples): cpu weights [",
+                model.combo, model.rmse, model.sample_count);
+    for (std::size_t j = 0; j < approx.num_vhcs(); ++j)
+      std::printf("%s%.2f", j ? ", " : "",
+                  model.weights[j * common::kNumComponents]);
+    std::printf("]\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args(argc, argv);
+    const std::string command = args.command();
+    if (command == "collect") return cmd_collect(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "meter") return cmd_meter(args, /*billing=*/false);
+    if (command == "bill") return cmd_meter(args, /*billing=*/true);
+    if (command == "info") return cmd_info(args);
+    std::fputs(kUsage, command.empty() ? stdout : stderr);
+    return command.empty() ? 0 : 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "vmpower: %s\n", error.what());
+    return 1;
+  }
+}
