@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vhc.dir/bench_ablation_vhc.cpp.o"
+  "CMakeFiles/bench_ablation_vhc.dir/bench_ablation_vhc.cpp.o.d"
+  "bench_ablation_vhc"
+  "bench_ablation_vhc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vhc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

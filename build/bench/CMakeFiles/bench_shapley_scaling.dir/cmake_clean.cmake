@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shapley_scaling.dir/bench_shapley_scaling.cpp.o"
+  "CMakeFiles/bench_shapley_scaling.dir/bench_shapley_scaling.cpp.o.d"
+  "bench_shapley_scaling"
+  "bench_shapley_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shapley_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

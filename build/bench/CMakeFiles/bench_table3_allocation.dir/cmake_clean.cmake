@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_allocation.dir/bench_table3_allocation.cpp.o"
+  "CMakeFiles/bench_table3_allocation.dir/bench_table3_allocation.cpp.o.d"
+  "bench_table3_allocation"
+  "bench_table3_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_billing.dir/cluster_billing.cpp.o"
+  "CMakeFiles/cluster_billing.dir/cluster_billing.cpp.o.d"
+  "cluster_billing"
+  "cluster_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_metering.dir/datacenter_metering.cpp.o"
+  "CMakeFiles/datacenter_metering.dir/datacenter_metering.cpp.o.d"
+  "datacenter_metering"
+  "datacenter_metering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_metering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_array_tenant.dir/disk_array_tenant.cpp.o"
+  "CMakeFiles/disk_array_tenant.dir/disk_array_tenant.cpp.o.d"
+  "disk_array_tenant"
+  "disk_array_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_array_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

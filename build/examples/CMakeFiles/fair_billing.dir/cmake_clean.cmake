@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_billing.dir/fair_billing.cpp.o"
+  "CMakeFiles/fair_billing.dir/fair_billing.cpp.o.d"
+  "fair_billing"
+  "fair_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/integrated_model.cpp" "src/baselines/CMakeFiles/vmp_baselines.dir/integrated_model.cpp.o" "gcc" "src/baselines/CMakeFiles/vmp_baselines.dir/integrated_model.cpp.o.d"
+  "/root/repo/src/baselines/marginal.cpp" "src/baselines/CMakeFiles/vmp_baselines.dir/marginal.cpp.o" "gcc" "src/baselines/CMakeFiles/vmp_baselines.dir/marginal.cpp.o.d"
+  "/root/repo/src/baselines/power_model.cpp" "src/baselines/CMakeFiles/vmp_baselines.dir/power_model.cpp.o" "gcc" "src/baselines/CMakeFiles/vmp_baselines.dir/power_model.cpp.o.d"
+  "/root/repo/src/baselines/rapl_share.cpp" "src/baselines/CMakeFiles/vmp_baselines.dir/rapl_share.cpp.o" "gcc" "src/baselines/CMakeFiles/vmp_baselines.dir/rapl_share.cpp.o.d"
+  "/root/repo/src/baselines/resource_usage.cpp" "src/baselines/CMakeFiles/vmp_baselines.dir/resource_usage.cpp.o" "gcc" "src/baselines/CMakeFiles/vmp_baselines.dir/resource_usage.cpp.o.d"
+  "/root/repo/src/baselines/trainer.cpp" "src/baselines/CMakeFiles/vmp_baselines.dir/trainer.cpp.o" "gcc" "src/baselines/CMakeFiles/vmp_baselines.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

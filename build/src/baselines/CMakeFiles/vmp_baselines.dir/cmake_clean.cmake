@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_baselines.dir/integrated_model.cpp.o"
+  "CMakeFiles/vmp_baselines.dir/integrated_model.cpp.o.d"
+  "CMakeFiles/vmp_baselines.dir/marginal.cpp.o"
+  "CMakeFiles/vmp_baselines.dir/marginal.cpp.o.d"
+  "CMakeFiles/vmp_baselines.dir/power_model.cpp.o"
+  "CMakeFiles/vmp_baselines.dir/power_model.cpp.o.d"
+  "CMakeFiles/vmp_baselines.dir/rapl_share.cpp.o"
+  "CMakeFiles/vmp_baselines.dir/rapl_share.cpp.o.d"
+  "CMakeFiles/vmp_baselines.dir/resource_usage.cpp.o"
+  "CMakeFiles/vmp_baselines.dir/resource_usage.cpp.o.d"
+  "CMakeFiles/vmp_baselines.dir/trainer.cpp.o"
+  "CMakeFiles/vmp_baselines.dir/trainer.cpp.o.d"
+  "libvmp_baselines.a"
+  "libvmp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

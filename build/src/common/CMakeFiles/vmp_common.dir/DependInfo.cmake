@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/state_vector.cpp" "src/common/CMakeFiles/vmp_common.dir/state_vector.cpp.o" "gcc" "src/common/CMakeFiles/vmp_common.dir/state_vector.cpp.o.d"
+  "/root/repo/src/common/vm_config.cpp" "src/common/CMakeFiles/vmp_common.dir/vm_config.cpp.o" "gcc" "src/common/CMakeFiles/vmp_common.dir/vm_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_common.dir/state_vector.cpp.o"
+  "CMakeFiles/vmp_common.dir/state_vector.cpp.o.d"
+  "CMakeFiles/vmp_common.dir/vm_config.cpp.o"
+  "CMakeFiles/vmp_common.dir/vm_config.cpp.o.d"
+  "libvmp_common.a"
+  "libvmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

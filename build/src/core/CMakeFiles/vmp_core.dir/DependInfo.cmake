@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accountant.cpp" "src/core/CMakeFiles/vmp_core.dir/accountant.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/accountant.cpp.o.d"
+  "/root/repo/src/core/axioms.cpp" "src/core/CMakeFiles/vmp_core.dir/axioms.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/axioms.cpp.o.d"
+  "/root/repo/src/core/banzhaf.cpp" "src/core/CMakeFiles/vmp_core.dir/banzhaf.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/banzhaf.cpp.o.d"
+  "/root/repo/src/core/capping.cpp" "src/core/CMakeFiles/vmp_core.dir/capping.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/capping.cpp.o.d"
+  "/root/repo/src/core/coalition.cpp" "src/core/CMakeFiles/vmp_core.dir/coalition.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/coalition.cpp.o.d"
+  "/root/repo/src/core/collector.cpp" "src/core/CMakeFiles/vmp_core.dir/collector.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/collector.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/vmp_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/linear_approx.cpp" "src/core/CMakeFiles/vmp_core.dir/linear_approx.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/linear_approx.cpp.o.d"
+  "/root/repo/src/core/monte_carlo.cpp" "src/core/CMakeFiles/vmp_core.dir/monte_carlo.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/core/multi_host.cpp" "src/core/CMakeFiles/vmp_core.dir/multi_host.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/multi_host.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/vmp_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pricing.cpp" "src/core/CMakeFiles/vmp_core.dir/pricing.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/pricing.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/vmp_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/shapley.cpp" "src/core/CMakeFiles/vmp_core.dir/shapley.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/shapley.cpp.o.d"
+  "/root/repo/src/core/shared_weights.cpp" "src/core/CMakeFiles/vmp_core.dir/shared_weights.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/shared_weights.cpp.o.d"
+  "/root/repo/src/core/vhc.cpp" "src/core/CMakeFiles/vmp_core.dir/vhc.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/vhc.cpp.o.d"
+  "/root/repo/src/core/vsc_table.cpp" "src/core/CMakeFiles/vmp_core.dir/vsc_table.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/vsc_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/vmp_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/coalition_probe.cpp" "src/sim/CMakeFiles/vmp_sim.dir/coalition_probe.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/coalition_probe.cpp.o.d"
+  "/root/repo/src/sim/cpu_topology.cpp" "src/sim/CMakeFiles/vmp_sim.dir/cpu_topology.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/cpu_topology.cpp.o.d"
+  "/root/repo/src/sim/dstat.cpp" "src/sim/CMakeFiles/vmp_sim.dir/dstat.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/dstat.cpp.o.d"
+  "/root/repo/src/sim/hypervisor.cpp" "src/sim/CMakeFiles/vmp_sim.dir/hypervisor.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/sim/machine_spec.cpp" "src/sim/CMakeFiles/vmp_sim.dir/machine_spec.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/machine_spec.cpp.o.d"
+  "/root/repo/src/sim/msr.cpp" "src/sim/CMakeFiles/vmp_sim.dir/msr.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/msr.cpp.o.d"
+  "/root/repo/src/sim/physical_machine.cpp" "src/sim/CMakeFiles/vmp_sim.dir/physical_machine.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/physical_machine.cpp.o.d"
+  "/root/repo/src/sim/power_meter.cpp" "src/sim/CMakeFiles/vmp_sim.dir/power_meter.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/power_meter.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/vmp_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/power_model.cpp.o.d"
+  "/root/repo/src/sim/rapl.cpp" "src/sim/CMakeFiles/vmp_sim.dir/rapl.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/rapl.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/vmp_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/vmp_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/vm.cpp" "src/sim/CMakeFiles/vmp_sim.dir/vm.cpp.o" "gcc" "src/sim/CMakeFiles/vmp_sim.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_sim.dir/cluster.cpp.o"
+  "CMakeFiles/vmp_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/coalition_probe.cpp.o"
+  "CMakeFiles/vmp_sim.dir/coalition_probe.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/cpu_topology.cpp.o"
+  "CMakeFiles/vmp_sim.dir/cpu_topology.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/dstat.cpp.o"
+  "CMakeFiles/vmp_sim.dir/dstat.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/hypervisor.cpp.o"
+  "CMakeFiles/vmp_sim.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/machine_spec.cpp.o"
+  "CMakeFiles/vmp_sim.dir/machine_spec.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/msr.cpp.o"
+  "CMakeFiles/vmp_sim.dir/msr.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/physical_machine.cpp.o"
+  "CMakeFiles/vmp_sim.dir/physical_machine.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/power_meter.cpp.o"
+  "CMakeFiles/vmp_sim.dir/power_meter.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/power_model.cpp.o"
+  "CMakeFiles/vmp_sim.dir/power_model.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/rapl.cpp.o"
+  "CMakeFiles/vmp_sim.dir/rapl.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/runner.cpp.o"
+  "CMakeFiles/vmp_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/vmp_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/vm.cpp.o"
+  "CMakeFiles/vmp_sim.dir/vm.cpp.o.d"
+  "libvmp_sim.a"
+  "libvmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

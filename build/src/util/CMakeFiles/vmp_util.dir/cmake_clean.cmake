@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_util.dir/cli.cpp.o"
+  "CMakeFiles/vmp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/csv.cpp.o"
+  "CMakeFiles/vmp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/histogram.cpp.o"
+  "CMakeFiles/vmp_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/least_squares.cpp.o"
+  "CMakeFiles/vmp_util.dir/least_squares.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/logging.cpp.o"
+  "CMakeFiles/vmp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/matrix.cpp.o"
+  "CMakeFiles/vmp_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/rng.cpp.o"
+  "CMakeFiles/vmp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/stats.cpp.o"
+  "CMakeFiles/vmp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/table.cpp.o"
+  "CMakeFiles/vmp_util.dir/table.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/time_series.cpp.o"
+  "CMakeFiles/vmp_util.dir/time_series.cpp.o.d"
+  "libvmp_util.a"
+  "libvmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

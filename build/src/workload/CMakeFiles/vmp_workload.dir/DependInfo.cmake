@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/patterns.cpp" "src/workload/CMakeFiles/vmp_workload.dir/patterns.cpp.o" "gcc" "src/workload/CMakeFiles/vmp_workload.dir/patterns.cpp.o.d"
+  "/root/repo/src/workload/primitives.cpp" "src/workload/CMakeFiles/vmp_workload.dir/primitives.cpp.o" "gcc" "src/workload/CMakeFiles/vmp_workload.dir/primitives.cpp.o.d"
+  "/root/repo/src/workload/spec_suite.cpp" "src/workload/CMakeFiles/vmp_workload.dir/spec_suite.cpp.o" "gcc" "src/workload/CMakeFiles/vmp_workload.dir/spec_suite.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/vmp_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/vmp_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/vmp_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/vmp_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/user_pattern.cpp" "src/workload/CMakeFiles/vmp_workload.dir/user_pattern.cpp.o" "gcc" "src/workload/CMakeFiles/vmp_workload.dir/user_pattern.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/vmp_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/vmp_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

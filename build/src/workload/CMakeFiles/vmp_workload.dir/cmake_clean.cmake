@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_workload.dir/patterns.cpp.o"
+  "CMakeFiles/vmp_workload.dir/patterns.cpp.o.d"
+  "CMakeFiles/vmp_workload.dir/primitives.cpp.o"
+  "CMakeFiles/vmp_workload.dir/primitives.cpp.o.d"
+  "CMakeFiles/vmp_workload.dir/spec_suite.cpp.o"
+  "CMakeFiles/vmp_workload.dir/spec_suite.cpp.o.d"
+  "CMakeFiles/vmp_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/vmp_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/vmp_workload.dir/trace.cpp.o"
+  "CMakeFiles/vmp_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/vmp_workload.dir/user_pattern.cpp.o"
+  "CMakeFiles/vmp_workload.dir/user_pattern.cpp.o.d"
+  "CMakeFiles/vmp_workload.dir/workload.cpp.o"
+  "CMakeFiles/vmp_workload.dir/workload.cpp.o.d"
+  "libvmp_workload.a"
+  "libvmp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accountant.dir/test_accountant.cpp.o"
+  "CMakeFiles/test_accountant.dir/test_accountant.cpp.o.d"
+  "test_accountant"
+  "test_accountant.pdb"
+  "test_accountant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accountant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

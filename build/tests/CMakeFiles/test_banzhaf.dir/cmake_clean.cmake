@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banzhaf.dir/test_banzhaf.cpp.o"
+  "CMakeFiles/test_banzhaf.dir/test_banzhaf.cpp.o.d"
+  "test_banzhaf"
+  "test_banzhaf.pdb"
+  "test_banzhaf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banzhaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

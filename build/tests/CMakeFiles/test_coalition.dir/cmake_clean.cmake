@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalition.dir/test_coalition.cpp.o"
+  "CMakeFiles/test_coalition.dir/test_coalition.cpp.o.d"
+  "test_coalition"
+  "test_coalition.pdb"
+  "test_coalition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

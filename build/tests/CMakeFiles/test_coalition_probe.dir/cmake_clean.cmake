@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalition_probe.dir/test_coalition_probe.cpp.o"
+  "CMakeFiles/test_coalition_probe.dir/test_coalition_probe.cpp.o.d"
+  "test_coalition_probe"
+  "test_coalition_probe.pdb"
+  "test_coalition_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalition_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_approx.dir/test_linear_approx.cpp.o"
+  "CMakeFiles/test_linear_approx.dir/test_linear_approx.cpp.o.d"
+  "test_linear_approx"
+  "test_linear_approx.pdb"
+  "test_linear_approx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_host.dir/test_multi_host.cpp.o"
+  "CMakeFiles/test_multi_host.dir/test_multi_host.cpp.o.d"
+  "test_multi_host"
+  "test_multi_host.pdb"
+  "test_multi_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

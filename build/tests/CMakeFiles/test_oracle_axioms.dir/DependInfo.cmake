@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_oracle_axioms.cpp" "tests/CMakeFiles/test_oracle_axioms.dir/test_oracle_axioms.cpp.o" "gcc" "tests/CMakeFiles/test_oracle_axioms.dir/test_oracle_axioms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vmp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

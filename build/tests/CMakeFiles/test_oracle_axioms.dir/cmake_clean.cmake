@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_axioms.dir/test_oracle_axioms.cpp.o"
+  "CMakeFiles/test_oracle_axioms.dir/test_oracle_axioms.cpp.o.d"
+  "test_oracle_axioms"
+  "test_oracle_axioms.pdb"
+  "test_oracle_axioms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_axioms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

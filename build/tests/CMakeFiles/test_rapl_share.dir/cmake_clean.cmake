@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rapl_share.dir/test_rapl_share.cpp.o"
+  "CMakeFiles/test_rapl_share.dir/test_rapl_share.cpp.o.d"
+  "test_rapl_share"
+  "test_rapl_share.pdb"
+  "test_rapl_share[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rapl_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vhc.dir/test_vhc.cpp.o"
+  "CMakeFiles/test_vhc.dir/test_vhc.cpp.o.d"
+  "test_vhc"
+  "test_vhc.pdb"
+  "test_vhc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vhc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsc_table.dir/test_vsc_table.cpp.o"
+  "CMakeFiles/test_vsc_table.dir/test_vsc_table.cpp.o.d"
+  "test_vsc_table"
+  "test_vsc_table.pdb"
+  "test_vsc_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsc_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

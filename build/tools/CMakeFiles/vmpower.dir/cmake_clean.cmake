@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmpower.dir/vmpower.cpp.o"
+  "CMakeFiles/vmpower.dir/vmpower.cpp.o.d"
+  "vmpower"
+  "vmpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
