@@ -67,6 +67,21 @@ double EnergyAccountant::bill_usd(std::uint32_t vm_id,
   return common::joules_to_kwh(energy_j(vm_id)) * usd_per_kwh;
 }
 
+void EnergyAccountant::restore(
+    std::span<const std::pair<std::uint32_t, double>> energies,
+    double seconds) {
+  if (seconds < 0.0)
+    throw std::invalid_argument("EnergyAccountant::restore: seconds < 0");
+  std::unordered_map<std::uint32_t, double> restored;
+  restored.reserve(energies.size());
+  for (const auto& [vm_id, joules] : energies)
+    if (!restored.emplace(vm_id, joules).second)
+      throw std::invalid_argument(
+          "EnergyAccountant::restore: duplicate VM id");
+  energy_j_ = std::move(restored);
+  seconds_ = seconds;
+}
+
 std::vector<std::uint32_t> EnergyAccountant::vm_ids() const {
   std::vector<std::uint32_t> ids;
   ids.reserve(energy_j_.size());

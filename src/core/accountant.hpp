@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/estimator.hpp"
@@ -48,6 +49,12 @@ class EnergyAccountant {
 
   /// Ids of all VMs that have accumulated energy, ascending.
   [[nodiscard]] std::vector<std::uint32_t> vm_ids() const;
+
+  /// Replaces the accumulated state wholesale (checkpoint restore; see
+  /// core/serialization). Throws std::invalid_argument on negative seconds
+  /// or a duplicate VM id.
+  void restore(std::span<const std::pair<std::uint32_t, double>> energies,
+               double seconds);
 
  private:
   IdleAttribution policy_;

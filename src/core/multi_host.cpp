@@ -72,4 +72,29 @@ std::vector<TenantId> MultiHostAccountant::tenants() const {
   return out;
 }
 
+std::vector<MultiHostAccountant::EnergyRecord>
+MultiHostAccountant::energy_records() const {
+  std::vector<EnergyRecord> records;
+  records.reserve(energy_j_.size());
+  for (const auto& [key, joules] : energy_j_)
+    records.push_back({key.first, key.second, joules});
+  return records;
+}
+
+void MultiHostAccountant::restore(std::span<const EnergyRecord> records,
+                                  double unattributed_j) {
+  if (unattributed_j < 0.0)
+    throw std::invalid_argument(
+        "MultiHostAccountant::restore: unattributed energy < 0");
+  std::map<std::pair<TenantId, HostId>, double> restored;
+  for (const EnergyRecord& record : records)
+    if (!restored.emplace(std::make_pair(record.tenant, record.host),
+                          record.joules)
+             .second)
+      throw std::invalid_argument(
+          "MultiHostAccountant::restore: duplicate (tenant, host) record");
+  energy_j_ = std::move(restored);
+  unattributed_j_ = unattributed_j;
+}
+
 }  // namespace vmp::core

@@ -60,6 +60,22 @@ class MultiHostAccountant {
   /// All tenants with accumulated energy, ascending.
   [[nodiscard]] std::vector<TenantId> tenants() const;
 
+  /// One accumulated (tenant, host) ledger cell, for checkpointing.
+  struct EnergyRecord {
+    TenantId tenant = 0;
+    HostId host = 0;
+    double joules = 0.0;
+  };
+
+  /// Every ledger cell, ordered by (tenant, host).
+  [[nodiscard]] std::vector<EnergyRecord> energy_records() const;
+
+  /// Replaces the accumulated energies wholesale (checkpoint restore; the
+  /// bindings are not part of the ledger and are re-declared via bind()).
+  /// Throws std::invalid_argument on a duplicate (tenant, host) pair or
+  /// negative unattributed energy.
+  void restore(std::span<const EnergyRecord> records, double unattributed_j);
+
  private:
   // (host, vm) -> tenant.
   std::map<std::pair<HostId, std::uint32_t>, TenantId> bindings_;

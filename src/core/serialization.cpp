@@ -10,6 +10,8 @@ namespace {
 
 constexpr const char* kTableMagic = "vmpower-vsc-table v1";
 constexpr const char* kApproxMagic = "vmpower-vhc-approx v1";
+constexpr const char* kAccountantMagic = "vmpower-energy-accountant v1";
+constexpr const char* kMultiHostMagic = "vmpower-multihost v1";
 
 std::ofstream open_out(const std::filesystem::path& path) {
   std::ofstream out(path, std::ios::trunc);
@@ -120,6 +122,71 @@ VhcLinearApprox load_approximation(const std::filesystem::path& path) {
     models.push_back(std::move(data));
   }
   return VhcLinearApprox::from_models(num_vhcs, models);
+}
+
+void write_accountant(std::ostream& out, const EnergyAccountant& accountant) {
+  const auto ids = accountant.vm_ids();
+  const auto precision = out.precision(17);
+  out << kAccountantMagic
+      << " policy=" << static_cast<int>(accountant.policy())
+      << " seconds=" << accountant.accounted_seconds()
+      << " entries=" << ids.size() << '\n';
+  for (const std::uint32_t id : ids)
+    out << id << ' ' << accountant.energy_j(id) << '\n';
+  out.precision(precision);
+  if (!out) throw std::runtime_error("write_accountant: write failed");
+}
+
+EnergyAccountant read_accountant(std::istream& in) {
+  std::string magic_a, magic_b, policy_token, seconds_token, entries_token;
+  in >> magic_a >> magic_b >> policy_token >> seconds_token >> entries_token;
+  if (magic_a + " " + magic_b != kAccountantMagic)
+    throw std::runtime_error("read_accountant: bad magic");
+  const int policy = static_cast<int>(header_value(policy_token, "policy"));
+  if (policy < 0 || policy > static_cast<int>(IdleAttribution::kProportional))
+    throw std::runtime_error("read_accountant: unknown idle policy");
+  const double seconds = header_value(seconds_token, "seconds");
+  const auto entries =
+      static_cast<std::size_t>(header_value(entries_token, "entries"));
+
+  std::vector<std::pair<std::uint32_t, double>> energies(entries);
+  for (auto& [vm_id, joules] : energies)
+    if (!(in >> vm_id >> joules))
+      throw std::runtime_error("read_accountant: truncated entry row");
+
+  EnergyAccountant accountant(static_cast<IdleAttribution>(policy));
+  accountant.restore(energies, seconds);
+  return accountant;
+}
+
+void write_multi_host(std::ostream& out,
+                      const MultiHostAccountant& accountant) {
+  const auto records = accountant.energy_records();
+  const auto precision = out.precision(17);
+  out << kMultiHostMagic << " entries=" << records.size()
+      << " unattributed=" << accountant.unattributed_energy_j() << '\n';
+  for (const auto& record : records)
+    out << record.tenant << ' ' << record.host << ' ' << record.joules
+        << '\n';
+  out.precision(precision);
+  if (!out) throw std::runtime_error("write_multi_host: write failed");
+}
+
+void read_multi_host(std::istream& in, MultiHostAccountant& accountant) {
+  std::string magic_a, magic_b, entries_token, unattributed_token;
+  in >> magic_a >> magic_b >> entries_token >> unattributed_token;
+  if (magic_a + " " + magic_b != kMultiHostMagic)
+    throw std::runtime_error("read_multi_host: bad magic");
+  const auto entries =
+      static_cast<std::size_t>(header_value(entries_token, "entries"));
+  const double unattributed =
+      header_value(unattributed_token, "unattributed");
+
+  std::vector<MultiHostAccountant::EnergyRecord> records(entries);
+  for (auto& record : records)
+    if (!(in >> record.tenant >> record.host >> record.joules))
+      throw std::runtime_error("read_multi_host: truncated entry row");
+  accountant.restore(records, unattributed);
 }
 
 }  // namespace vmp::core

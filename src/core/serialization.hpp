@@ -12,11 +12,23 @@
 //
 // All load functions validate the header and throw std::runtime_error on
 // malformed input.
+// Billing state uses the same conventions, as *stream* blocks so composite
+// checkpoints (the fleet engine's) can embed several accountants in one
+// file:
+//
+//   vmpower-energy-accountant v1 policy=<p> seconds=<s> entries=<k>
+//   <vm_id> <joules>                                          (k rows)
+//
+//   vmpower-multihost v1 entries=<e> unattributed=<j>
+//   <tenant> <host> <joules>                                  (e rows)
 #pragma once
 
 #include <filesystem>
+#include <iosfwd>
 
+#include "core/accountant.hpp"
 #include "core/linear_approx.hpp"
+#include "core/multi_host.hpp"
 #include "core/vsc_table.hpp"
 
 namespace vmp::core {
@@ -34,5 +46,21 @@ void save_approximation(const VhcLinearApprox& approx,
 /// Reads an approximation written by save_approximation.
 [[nodiscard]] VhcLinearApprox load_approximation(
     const std::filesystem::path& path);
+
+/// Writes one accountant block to the stream (see format above).
+void write_accountant(std::ostream& out, const EnergyAccountant& accountant);
+
+/// Reads a block written by write_accountant; throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] EnergyAccountant read_accountant(std::istream& in);
+
+/// Writes the cross-host tenant ledger (energies only; bindings are
+/// configuration, not ledger state).
+void write_multi_host(std::ostream& out,
+                      const MultiHostAccountant& accountant);
+
+/// Restores the energies of `accountant` from a block written by
+/// write_multi_host; throws std::runtime_error on malformed input.
+void read_multi_host(std::istream& in, MultiHostAccountant& accountant);
 
 }  // namespace vmp::core

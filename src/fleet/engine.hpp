@@ -1,0 +1,141 @@
+// FleetEngine: concurrent multi-host metering with tenant roll-up,
+// observability, fault tolerance, and checkpoint/restore.
+//
+// The Shapley value's Additivity axiom (paper Sec. IV-C) makes the per-host
+// disaggregation games independent, so a fleet of N hosts is embarrassingly
+// parallel: each tick the engine fans one HostAgent task per host onto its
+// ThreadPool, workers publish HostTickResults through the bounded MPSC
+// queue, and the engine aggregates the tick on its own thread *in host-id
+// order* — which is why the tenant ledgers are byte-identical to a serial
+// run at any thread count (under the kBlock backpressure policy; kDropOldest
+// trades that guarantee for liveness and surfaces every shed sample in the
+// drop counter).
+//
+// Fault tolerance (see fleet/faults.hpp and fleet/host_agent.hpp): degraded
+// host-ticks are billed at the host's last good estimate and flagged in the
+// metrics — an unmonitored host keeps drawing power, so carrying the
+// estimate is strictly more honest than zeroing it. Checkpoints persist the
+// engine's tick plus every accountant through core::serialization; restore
+// fast-forwards the deterministic simulators through already-billed ticks so
+// a resumed engine never double-counts a joule.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "core/accountant.hpp"
+#include "core/collector.hpp"
+#include "core/multi_host.hpp"
+#include "fleet/faults.hpp"
+#include "fleet/host_agent.hpp"
+#include "fleet/metrics.hpp"
+#include "fleet/queue.hpp"
+#include "fleet/thread_pool.hpp"
+#include "sim/machine_spec.hpp"
+
+namespace vmp::fleet {
+
+struct FleetOptions {
+  std::size_t hosts = 4;
+  std::size_t threads = 2;
+  /// Every host boots this fleet (VM v on host h belongs to tenant
+  /// v % tenants + 1).
+  std::vector<common::VmConfig> fleet_per_host;
+  std::size_t tenants = 3;
+  sim::MachineSpec spec = sim::xeon_prototype();
+  double period_s = 1.0;
+  std::uint64_t seed = 1;
+  core::IdleAttribution idle_policy = core::IdleAttribution::kNone;
+
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  std::size_t queue_capacity = 0;  ///< 0 => one slot per host.
+
+  FaultSpec faults;
+  std::uint32_t max_retries = 3;
+  std::chrono::microseconds retry_backoff_base{100};
+  std::uint64_t dropout_ticks = 3;
+
+  /// Throws std::invalid_argument on zero hosts/threads/tenants, an empty
+  /// fleet, or a non-positive period.
+  void validate() const;
+};
+
+class FleetEngine {
+ public:
+  /// Boots `options.hosts` agents sharing the trained `dataset` artifacts
+  /// (host h is seeded with seed + h, so hosts are distinct but the whole
+  /// fleet is reproducible from one seed).
+  FleetEngine(FleetOptions options, const core::OfflineDataset& dataset);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Advances the whole fleet by `ticks` sampling periods.
+  void run(std::uint64_t ticks);
+
+  [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
+  [[nodiscard]] const FleetOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Cross-host tenant ledger (the Additivity roll-up).
+  [[nodiscard]] const core::MultiHostAccountant& tenant_ledger()
+      const noexcept {
+    return tenants_;
+  }
+  /// Per-host VM-level energy ledger.
+  [[nodiscard]] const core::EnergyAccountant& host_ledger(
+      std::size_t host) const {
+    return *host_ledgers_.at(host);
+  }
+
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Aggregated fault/backpressure tallies (also exported via metrics()).
+  [[nodiscard]] std::uint64_t samples_processed() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::uint64_t samples_dropped() const noexcept;
+  [[nodiscard]] std::uint64_t degraded_ticks() const noexcept {
+    return degraded_;
+  }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t stale_ticks() const noexcept { return stale_; }
+
+  /// Persists tick + all ledgers; throws std::runtime_error on I/O failure.
+  void save_checkpoint(const std::filesystem::path& path) const;
+
+  /// Restores a checkpoint written by save_checkpoint into this engine.
+  /// Must be called before any run(); the configuration (host count, fleet,
+  /// seed) must match the checkpointed engine's, host count is verified.
+  /// Fast-forwards every host's simulator through the checkpointed ticks so
+  /// subsequent run() calls continue exactly where the saved engine stopped.
+  /// Throws std::runtime_error on malformed input or std::logic_error when
+  /// the engine already advanced.
+  void restore_checkpoint(const std::filesystem::path& path);
+
+ private:
+  void aggregate(const HostTickResult& result);
+
+  FleetOptions options_;
+  FaultInjector injector_;
+  std::vector<std::unique_ptr<HostAgent>> agents_;
+  std::vector<std::unique_ptr<core::EnergyAccountant>> host_ledgers_;
+  core::MultiHostAccountant tenants_;
+  BoundedQueue<HostTickResult> queue_;
+  ThreadPool pool_;
+  Metrics metrics_;
+
+  std::uint64_t tick_ = 0;
+  std::uint64_t dropped_base_ = 0;  ///< drops carried in from a checkpoint.
+  std::uint64_t processed_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t stale_ = 0;
+};
+
+}  // namespace vmp::fleet

@@ -1,0 +1,83 @@
+#include "fleet/faults.hpp"
+
+#include <stdexcept>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace vmp::fleet {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument(std::string("FaultSpec: ") + what +
+                                " probability must be in [0, 1]");
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  check_probability(meter_failure, "meter");
+  check_probability(dropout, "dropout");
+  check_probability(stale_telemetry, "stale");
+}
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& part : util::split_csv(text)) {
+    const auto colon = part.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("fault spec: expected key:prob, got '" +
+                                  part + "'");
+    const std::string key = part.substr(0, colon);
+    double prob = 0.0;
+    try {
+      std::size_t used = 0;
+      prob = std::stod(part.substr(colon + 1), &used);
+      if (used != part.size() - colon - 1) throw std::invalid_argument(part);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault spec: bad probability in '" + part +
+                                  "'");
+    }
+    if (key == "meter") spec.meter_failure = prob;
+    else if (key == "dropout") spec.dropout = prob;
+    else if (key == "stale") spec.stale_telemetry = prob;
+    else
+      throw std::invalid_argument(
+          "fault spec: unknown kind '" + key +
+          "' (expected meter, dropout, or stale)");
+  }
+  spec.validate();
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {
+  spec_.validate();
+}
+
+bool FaultInjector::fires(Kind kind, std::uint32_t host, std::uint64_t tick,
+                          std::uint32_t attempt) const noexcept {
+  double probability = 0.0;
+  switch (kind) {
+    case Kind::kMeter: probability = spec_.meter_failure; break;
+    case Kind::kDropout: probability = spec_.dropout; break;
+    case Kind::kStale: probability = spec_.stale_telemetry; break;
+  }
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  // SplitMix64 over a mixed key; the uniform is the top 53 bits, the same
+  // construction util::Rng uses for its uniform().
+  std::uint64_t key = seed_;
+  key ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(kind) + 1);
+  key ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(host) + 1);
+  key ^= 0x94d049bb133111ebULL * (tick + 1);
+  key ^= 0xd6e8feb86659fd93ULL * (static_cast<std::uint64_t>(attempt) + 1);
+  const std::uint64_t bits = util::splitmix64(key);
+  const double uniform =
+      static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1).
+  return uniform < probability;
+}
+
+}  // namespace vmp::fleet

@@ -1,0 +1,57 @@
+// Deterministic fault injection for the fleet engine.
+//
+// Real fleets lose meter reads, drop whole hosts, and serve stale telemetry;
+// the engine must degrade gracefully through all three. Faults are rolled
+// from a counter-based hash of (seed, host, tick, attempt) rather than a
+// shared RNG stream, so the schedule of failures is a pure function of the
+// configuration — independent of thread count and interleaving, which is
+// what lets the determinism tests run with fault injection enabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vmp::fleet {
+
+/// Per-tick fault probabilities, all in [0, 1].
+struct FaultSpec {
+  double meter_failure = 0.0;  ///< a meter read attempt fails.
+  double dropout = 0.0;        ///< the host's monitoring plane goes dark.
+  double stale_telemetry = 0.0;  ///< VM states arrive one tick late.
+
+  [[nodiscard]] bool any() const noexcept {
+    return meter_failure > 0.0 || dropout > 0.0 || stale_telemetry > 0.0;
+  }
+
+  /// Throws std::invalid_argument when a probability is outside [0, 1].
+  void validate() const;
+};
+
+/// Parses "meter:P,dropout:P,stale:P" (any subset, any order) into a spec.
+/// Throws std::invalid_argument on unknown keys or malformed probabilities.
+[[nodiscard]] FaultSpec parse_fault_spec(const std::string& text);
+
+/// Stateless deterministic roller: same (seed, kind, host, tick, attempt)
+/// always yields the same outcome.
+class FaultInjector {
+ public:
+  enum class Kind : std::uint64_t {
+    kMeter = 1,
+    kDropout = 2,
+    kStale = 3,
+  };
+
+  FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+  /// True when the fault of `kind` fires for this (host, tick, attempt).
+  [[nodiscard]] bool fires(Kind kind, std::uint32_t host, std::uint64_t tick,
+                           std::uint32_t attempt = 0) const noexcept;
+
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vmp::fleet

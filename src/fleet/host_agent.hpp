@@ -1,0 +1,99 @@
+// One fleet host's metering worker: simulator + estimator + fault handling.
+//
+// A HostAgent owns everything host-local — the simulated PhysicalMachine,
+// its ShapleyVhcEstimator, and the carry-forward state used for graceful
+// degradation — so the engine can run one agent per pool task with no shared
+// mutable state between hosts. Faults follow the engine contract: a meter
+// failure is retried with exponential backoff within the tick; an
+// unrecoverable tick (retries exhausted, or the host in dropout) is served
+// from the last good estimate and *flagged*, never silently zeroed; stale
+// telemetry re-estimates from the previous tick's VM states against the
+// current measurement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/collector.hpp"
+#include "core/estimator.hpp"
+#include "fleet/faults.hpp"
+#include "sim/physical_machine.hpp"
+
+namespace vmp::fleet {
+
+/// What one host produced for one tick; queued to the aggregation thread.
+struct HostTickResult {
+  std::uint32_t host = 0;
+  std::uint64_t tick = 0;
+  std::vector<core::VmSample> vms;  ///< telemetry the estimate used.
+  std::vector<double> phi;          ///< per-VM watts, parallel to vms.
+  double adjusted_power_w = 0.0;
+  double idle_power_w = 0.0;
+  bool degraded = false;  ///< served from the last good estimate.
+  bool stale = false;     ///< estimated from previous-tick telemetry.
+  std::uint32_t retries = 0;
+  double step_seconds = 0.0;  ///< wall time of the host's step (metrics only).
+};
+
+struct HostAgentOptions {
+  double period_s = 1.0;
+  std::uint32_t max_retries = 3;
+  /// First retry sleeps this long, doubling per attempt (0 disables
+  /// sleeping; the retry accounting is unaffected).
+  std::chrono::microseconds retry_backoff_base{100};
+  std::uint64_t dropout_ticks = 3;  ///< monitoring blackout length.
+};
+
+class HostAgent {
+ public:
+  /// Boots `fleet` on a fresh machine; VM v runs a SPEC-like workload chosen
+  /// deterministically from (seed, v). The trained dataset is copied so
+  /// agents share no state.
+  HostAgent(std::uint32_t host_id, const sim::MachineSpec& spec,
+            const std::vector<common::VmConfig>& fleet,
+            const core::OfflineDataset& dataset, std::uint64_t seed,
+            HostAgentOptions options);
+
+  /// Advances the host one sampling period and returns the tick's result,
+  /// applying the injector's fault schedule. Not thread-safe; the engine
+  /// guarantees one in-flight call per agent.
+  HostTickResult sample(std::uint64_t tick, const FaultInjector& injector);
+
+  /// Advances the simulation one period with no estimation — checkpoint
+  /// restore fast-forwards through already-billed ticks with this.
+  void fast_forward_tick();
+
+  [[nodiscard]] std::uint32_t host_id() const noexcept { return host_id_; }
+  /// Ids of the VMs booted on this host, in creation order.
+  [[nodiscard]] const std::vector<sim::VmId>& vm_ids() const noexcept {
+    return vm_ids_;
+  }
+  [[nodiscard]] std::uint64_t degraded_ticks() const noexcept {
+    return degraded_ticks_;
+  }
+
+  /// Writes the carry-forward/fault state (one text block) so a restored
+  /// engine resumes the exact degradation trajectory, faults included.
+  void save_state(std::ostream& out) const;
+  /// Reads a block written by save_state; throws std::runtime_error on
+  /// malformed input or a host id mismatch.
+  void load_state(std::istream& in);
+
+ private:
+  std::uint32_t host_id_;
+  HostAgentOptions options_;
+  sim::PhysicalMachine machine_;
+  core::ShapleyVhcEstimator estimator_;
+  std::vector<sim::VmId> vm_ids_;
+
+  // Carry-forward state for degradation and staleness.
+  std::vector<core::VmSample> last_vms_;
+  std::vector<double> last_phi_;
+  double last_adjusted_w_ = 0.0;
+  std::uint64_t dropout_remaining_ = 0;
+  std::uint64_t degraded_ticks_ = 0;
+};
+
+}  // namespace vmp::fleet

@@ -1,0 +1,144 @@
+#include "fleet/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vmp::fleet {
+
+namespace {
+
+/// Family name = metric name with any label set stripped.
+std::string family_of(const std::string& name) {
+  const auto brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void write_double(std::ostream& out, double value) {
+  std::ostringstream text;
+  text.precision(12);
+  text << value;
+  out << text.str();
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : histogram_(lo, hi, bins) {}
+
+void HistogramMetric::observe(double value) {
+  std::lock_guard lock(mutex_);
+  histogram_.add(value);
+  sum_ += value;
+}
+
+std::uint64_t HistogramMetric::count() const {
+  std::lock_guard lock(mutex_);
+  return histogram_.count();
+}
+
+double HistogramMetric::sum() const {
+  std::lock_guard lock(mutex_);
+  return sum_;
+}
+
+util::Histogram HistogramMetric::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return histogram_;
+}
+
+Metrics::Entry& Metrics::entry_for(const std::string& name,
+                                   const std::string& help) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) it->second.help = help;
+  return it->second;
+}
+
+Counter& Metrics::counter(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entry_for(name, help);
+  if (entry.gauge || entry.histogram)
+    throw std::invalid_argument("Metrics: '" + name +
+                                "' already registered as another kind");
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& Metrics::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entry_for(name, help);
+  if (entry.counter || entry.histogram)
+    throw std::invalid_argument("Metrics: '" + name +
+                                "' already registered as another kind");
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+HistogramMetric& Metrics::histogram(const std::string& name,
+                                    const std::string& help, double lo,
+                                    double hi, std::size_t bins) {
+  if (name.find('{') != std::string::npos)
+    throw std::invalid_argument(
+        "Metrics: histogram names cannot carry labels (the 'le' label is "
+        "reserved): " +
+        name);
+  std::lock_guard lock(mutex_);
+  Entry& entry = entry_for(name, help);
+  if (entry.counter || entry.gauge)
+    throw std::invalid_argument("Metrics: '" + name +
+                                "' already registered as another kind");
+  if (!entry.histogram)
+    entry.histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
+  return *entry.histogram;
+}
+
+std::string Metrics::to_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  std::string last_family;
+  for (const auto& [name, entry] : entries_) {
+    const std::string family = family_of(name);
+    if (family != last_family) {
+      const char* kind = entry.counter     ? "counter"
+                         : entry.gauge     ? "gauge"
+                         : entry.histogram ? "histogram"
+                                           : "untyped";
+      out << "# HELP " << family << ' ' << entry.help << '\n';
+      out << "# TYPE " << family << ' ' << kind << '\n';
+      last_family = family;
+    }
+    if (entry.counter) {
+      out << name << ' ' << entry.counter->value() << '\n';
+    } else if (entry.gauge) {
+      out << name << ' ';
+      write_double(out, entry.gauge->value());
+      out << '\n';
+    } else if (entry.histogram) {
+      const util::Histogram histogram = entry.histogram->snapshot();
+      std::size_t cumulative = 0;
+      for (std::size_t i = 0; i < histogram.bin_count(); ++i) {
+        cumulative += histogram.bin(i);
+        out << name << "_bucket{le=\"";
+        write_double(out, histogram.bin_hi(i));
+        out << "\"} " << cumulative << '\n';
+      }
+      out << name << "_bucket{le=\"+Inf\"} " << histogram.count() << '\n';
+      out << name << "_sum ";
+      write_double(out, entry.histogram->sum());
+      out << '\n';
+      out << name << "_count " << histogram.count() << '\n';
+    }
+  }
+  return out.str();
+}
+
+void Metrics::write_prometheus(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("Metrics: cannot open for write: " +
+                             path.string());
+  out << to_prometheus();
+  if (!out) throw std::runtime_error("Metrics: write failed: " + path.string());
+}
+
+}  // namespace vmp::fleet

@@ -1,0 +1,133 @@
+// Bounded MPSC sample queue for the fleet engine.
+//
+// Host workers (many producers) publish per-tick metering results; the
+// engine's aggregation thread (single consumer) drains them. The queue is
+// bounded so a slow consumer exerts explicit backpressure instead of letting
+// memory grow with fleet size; the policy choice is the classic streaming
+// trade-off: kBlock favours completeness (and keeps the engine's determinism
+// guarantee), kDropOldest favours liveness under overload and makes every
+// shed sample observable through the drop counter.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+namespace vmp::fleet {
+
+/// What a producer does when the queue is full.
+enum class BackpressurePolicy {
+  kBlock,       ///< wait for the consumer; nothing is ever lost.
+  kDropOldest,  ///< evict the oldest queued element and count the drop.
+};
+
+[[nodiscard]] constexpr const char* to_string(BackpressurePolicy p) noexcept {
+  return p == BackpressurePolicy::kBlock ? "block" : "drop-oldest";
+}
+
+/// Bounded multi-producer single-consumer FIFO. All members are safe to call
+/// from any thread; `pop` is intended for the single consumer.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Throws std::invalid_argument when capacity is 0.
+  explicit BoundedQueue(std::size_t capacity,
+                        BackpressurePolicy policy = BackpressurePolicy::kBlock)
+      : capacity_(capacity), policy_(policy) {
+    if (capacity == 0)
+      throw std::invalid_argument("BoundedQueue: capacity must be >= 1");
+  }
+
+  /// Enqueues `value`. Under kBlock, waits until space frees up (or the
+  /// queue is closed, in which case the value is discarded and false is
+  /// returned). Under kDropOldest, evicts the front element when full.
+  /// Returns true iff the value was enqueued without shedding anything.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    if (policy_ == BackpressurePolicy::kBlock) {
+      space_cv_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+    }
+    bool clean = true;
+    if (items_.size() == capacity_) {  // only reachable under kDropOldest.
+      items_.pop_front();
+      ++dropped_;
+      clean = false;
+    }
+    items_.push_back(std::move(value));
+    high_watermark_ = std::max(high_watermark_, items_.size());
+    lock.unlock();
+    item_cv_.notify_one();
+    return clean;
+  }
+
+  /// Blocks until an element is available and returns it, or returns
+  /// std::nullopt once the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop; std::nullopt when empty.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return value;
+  }
+
+  /// Wakes every blocked producer/consumer; subsequent pushes are discarded.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
+
+  /// Total elements evicted by kDropOldest since construction.
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard lock(mutex_);
+    return dropped_;
+  }
+
+  /// Deepest the queue has ever been (backpressure diagnostics).
+  [[nodiscard]] std::size_t high_watermark() const {
+    std::lock_guard lock(mutex_);
+    return high_watermark_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable item_cv_;
+  std::condition_variable space_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::uint64_t dropped_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace vmp::fleet

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 namespace vmp::util {
 
@@ -28,6 +29,11 @@ namespace detail {
 
 void vlog(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // One mutex around the sink writes: concurrent fleet hosts emit whole
+  // lines, never interleaved fragments. The filtered-out fast path above
+  // stays lock-free.
+  static std::mutex sink_mutex;
+  std::lock_guard lock(sink_mutex);
   std::fprintf(stderr, "[vmpower %s] ", to_string(level));
   va_list args;
   va_start(args, fmt);

@@ -1,0 +1,282 @@
+#include "fleet/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/vm_config.hpp"
+#include "core/collector.hpp"
+#include "fleet/faults.hpp"
+#include "fleet/queue.hpp"
+#include "fleet/thread_pool.hpp"
+
+namespace vmp::fleet {
+namespace {
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndValidation) {
+  BoundedQueue<int> queue(4);
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, DropOldestEvictsFrontAndCounts) {
+  BoundedQueue<int> queue(2, BackpressurePolicy::kDropOldest);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_FALSE(queue.push(3));  // evicts 1.
+  EXPECT_EQ(queue.dropped(), 1u);
+  EXPECT_EQ(queue.high_watermark(), 2u);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), 3);
+}
+
+TEST(BoundedQueue, BlockPolicyBlocksProducerUntilConsumed) {
+  BoundedQueue<int> queue(1, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    queue.push(2);  // full: must wait for the pop below.
+    second_pushed = true;
+  });
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed);
+  EXPECT_EQ(queue.dropped(), 0u);
+}
+
+TEST(BoundedQueue, CloseWakesEveryone) {
+  BoundedQueue<int> queue(1);
+  std::thread consumer([&] { EXPECT_EQ(queue.pop(), std::nullopt); });
+  queue.close();
+  consumer.join();
+  EXPECT_FALSE(queue.push(7));  // discarded after close.
+}
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran, 100);
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+// --- Fault injection --------------------------------------------------------
+
+TEST(Faults, SpecParsingAndValidation) {
+  const FaultSpec spec = parse_fault_spec("meter:0.5,dropout:0.1,stale:0.25");
+  EXPECT_DOUBLE_EQ(spec.meter_failure, 0.5);
+  EXPECT_DOUBLE_EQ(spec.dropout, 0.1);
+  EXPECT_DOUBLE_EQ(spec.stale_telemetry, 0.25);
+  EXPECT_TRUE(spec.any());
+  EXPECT_FALSE(FaultSpec{}.any());
+  EXPECT_THROW(parse_fault_spec("meter:1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("disk:0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("meter=0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("meter:abc"), std::invalid_argument);
+}
+
+TEST(Faults, RollsAreDeterministicInTheKey) {
+  FaultSpec spec;
+  spec.meter_failure = 0.5;
+  const FaultInjector a(spec, 42), b(spec, 42);
+  int fired = 0;
+  for (std::uint64_t tick = 0; tick < 200; ++tick) {
+    const bool hit = a.fires(FaultInjector::Kind::kMeter, 3, tick);
+    EXPECT_EQ(hit, b.fires(FaultInjector::Kind::kMeter, 3, tick));
+    fired += hit;
+  }
+  // ~Binomial(200, 0.5); a [40, 160] band is astronomically safe.
+  EXPECT_GT(fired, 40);
+  EXPECT_LT(fired, 160);
+
+  FaultSpec never, always;
+  always.dropout = 1.0;
+  EXPECT_FALSE(
+      FaultInjector(never, 1).fires(FaultInjector::Kind::kDropout, 0, 0));
+  EXPECT_TRUE(
+      FaultInjector(always, 1).fires(FaultInjector::Kind::kDropout, 0, 0));
+}
+
+// --- FleetEngine ------------------------------------------------------------
+
+class FleetEngineTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kHosts = 4;
+
+  std::vector<common::VmConfig> fleet_ = {common::demo_c_vm(),
+                                          common::demo_c_vm()};
+
+  core::OfflineDataset dataset_ = [this] {
+    core::CollectionOptions options;
+    options.duration_s = 30.0;
+    return core::collect_offline_dataset(sim::xeon_prototype(), fleet_,
+                                         options);
+  }();
+
+  FleetOptions options_for(std::size_t threads) const {
+    FleetOptions options;
+    options.hosts = kHosts;
+    options.threads = threads;
+    options.fleet_per_host = fleet_;
+    options.tenants = 2;
+    options.seed = 7;
+    options.retry_backoff_base = std::chrono::microseconds{0};  // fast tests.
+    return options;
+  }
+
+  static std::vector<double> ledger_fingerprint(const FleetEngine& engine) {
+    std::vector<double> values;
+    const auto& tenants = engine.tenant_ledger();
+    for (const core::TenantId tenant : tenants.tenants()) {
+      values.push_back(tenants.tenant_energy_j(tenant));
+      for (std::size_t h = 0; h < engine.options().hosts; ++h)
+        values.push_back(
+            tenants.tenant_energy_on_host_j(tenant, static_cast<core::HostId>(h)));
+    }
+    for (std::size_t h = 0; h < engine.options().hosts; ++h)
+      for (const std::uint32_t vm : engine.host_ledger(h).vm_ids())
+        values.push_back(engine.host_ledger(h).energy_j(vm));
+    values.push_back(tenants.unattributed_energy_j());
+    return values;
+  }
+};
+
+TEST_F(FleetEngineTest, LedgersAreByteIdenticalAcrossThreadCounts) {
+  FleetEngine serial(options_for(1), dataset_);
+  serial.run(15);
+  FleetEngine threaded(options_for(3), dataset_);
+  threaded.run(15);
+
+  const auto a = ledger_fingerprint(serial);
+  const auto b = ledger_fingerprint(threaded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << "fingerprint slot " << i;  // exact, not NEAR.
+  EXPECT_GT(serial.tenant_ledger().total_energy_j(), 0.0);
+}
+
+TEST_F(FleetEngineTest, DeterminismHoldsWithFaultInjectionEnabled) {
+  FleetOptions faulty = options_for(1);
+  faulty.faults = parse_fault_spec("meter:0.4,dropout:0.1,stale:0.3");
+  FleetEngine serial(faulty, dataset_);
+  serial.run(20);
+
+  faulty.threads = 3;
+  FleetEngine threaded(faulty, dataset_);
+  threaded.run(20);
+
+  EXPECT_EQ(ledger_fingerprint(serial), ledger_fingerprint(threaded));
+  EXPECT_EQ(serial.degraded_ticks(), threaded.degraded_ticks());
+  EXPECT_EQ(serial.retries(), threaded.retries());
+  EXPECT_EQ(serial.stale_ticks(), threaded.stale_ticks());
+  EXPECT_GT(serial.degraded_ticks(), 0u);
+}
+
+TEST_F(FleetEngineTest, DegradedHostsCarryLastGoodEstimateNeverZero) {
+  FleetOptions faulty = options_for(2);
+  faulty.faults = parse_fault_spec("meter:0.6,dropout:0.15");
+  FleetEngine engine(faulty, dataset_);
+  engine.run(30);
+
+  EXPECT_GT(engine.degraded_ticks(), 0u);
+  EXPECT_GT(engine.retries(), 0u);
+  // Every host keeps billing through its blackouts: carried estimates, not
+  // silent zeros.
+  for (std::size_t h = 0; h < kHosts; ++h)
+    EXPECT_GT(engine.host_ledger(h).total_energy_j(), 0.0) << "host " << h;
+
+  const std::string dump = engine.metrics().to_prometheus();
+  EXPECT_NE(dump.find("vmpower_fleet_degraded_ticks_total"),
+            std::string::npos);
+  EXPECT_NE(dump.find("vmpower_fleet_meter_retries_total"),
+            std::string::npos);
+}
+
+TEST_F(FleetEngineTest, DropOldestBackpressureAccountsEveryShedSample) {
+  FleetOptions options = options_for(3);
+  options.backpressure = BackpressurePolicy::kDropOldest;
+  options.queue_capacity = 1;  // 4 hosts racing into one slot: must shed.
+  FleetEngine engine(options, dataset_);
+  engine.run(12);
+
+  EXPECT_GT(engine.samples_dropped(), 0u);
+  // Conservation: every produced sample is either aggregated or counted as
+  // dropped — none vanish.
+  EXPECT_EQ(engine.samples_processed() + engine.samples_dropped(),
+            kHosts * 12u);
+  const std::string dump = engine.metrics().to_prometheus();
+  EXPECT_NE(dump.find("vmpower_fleet_sample_drops_total"), std::string::npos);
+}
+
+TEST_F(FleetEngineTest, CheckpointRestoreResumesExactTrajectory) {
+  const std::filesystem::path path = ::testing::TempDir() + "fleet_ckpt.txt";
+
+  FleetOptions options = options_for(2);
+  options.faults = parse_fault_spec("meter:0.3,stale:0.2");
+  FleetEngine original(options, dataset_);
+  original.run(8);
+  original.save_checkpoint(path);
+  original.run(7);  // the reference: one continuous 15-tick run.
+
+  FleetEngine resumed(options, dataset_);
+  resumed.restore_checkpoint(path);
+  EXPECT_EQ(resumed.tick(), 8u);
+  resumed.run(7);
+
+  EXPECT_EQ(ledger_fingerprint(original), ledger_fingerprint(resumed));
+  EXPECT_EQ(original.degraded_ticks(), resumed.degraded_ticks());
+  EXPECT_EQ(original.samples_processed(), resumed.samples_processed());
+  std::filesystem::remove(path);
+}
+
+TEST_F(FleetEngineTest, RestoreValidation) {
+  const std::filesystem::path path = ::testing::TempDir() + "fleet_bad.txt";
+  FleetEngine engine(options_for(1), dataset_);
+  engine.run(1);
+  EXPECT_THROW(engine.restore_checkpoint(path), std::logic_error);
+
+  FleetEngine fresh(options_for(1), dataset_);
+  EXPECT_THROW(fresh.restore_checkpoint(path), std::runtime_error);
+
+  // Host-count mismatch is rejected before any state is replayed.
+  engine.save_checkpoint(path);
+  FleetOptions narrow = options_for(1);
+  narrow.hosts = 2;
+  FleetEngine mismatched(narrow, dataset_);
+  EXPECT_THROW(mismatched.restore_checkpoint(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(FleetEngineTest, OptionsValidation) {
+  FleetOptions options = options_for(1);
+  options.hosts = 0;
+  EXPECT_THROW(FleetEngine(options, dataset_), std::invalid_argument);
+  options = options_for(1);
+  options.fleet_per_host.clear();
+  EXPECT_THROW(FleetEngine(options, dataset_), std::invalid_argument);
+  options = options_for(0);
+  EXPECT_THROW(FleetEngine(options, dataset_), std::invalid_argument);
+  options = options_for(1);
+  options.faults.meter_failure = 2.0;
+  EXPECT_THROW(FleetEngine(options, dataset_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::fleet

@@ -1,0 +1,133 @@
+#include "fleet/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace vmp::fleet {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  Metrics metrics;
+  Counter& counter = metrics.counter("c_total", "a counter");
+  counter.inc();
+  counter.inc(4);
+  EXPECT_EQ(counter.value(), 5u);
+
+  Gauge& gauge = metrics.gauge("g", "a gauge");
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+
+  HistogramMetric& histogram =
+      metrics.histogram("h_seconds", "a histogram", 0.0, 1.0, 4);
+  histogram.observe(0.1);
+  histogram.observe(0.3);
+  histogram.observe(0.9);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1.3);
+}
+
+TEST(Metrics, ReRegistrationReturnsSameInstrument) {
+  Metrics metrics;
+  Counter& first = metrics.counter("c_total", "help");
+  Counter& again = metrics.counter("c_total", "different help ignored");
+  EXPECT_EQ(&first, &again);
+  first.inc();
+  EXPECT_EQ(again.value(), 1u);
+}
+
+TEST(Metrics, KindConflictsAndLabeledHistogramsThrow) {
+  Metrics metrics;
+  metrics.counter("x", "h");
+  EXPECT_THROW(metrics.gauge("x", "h"), std::invalid_argument);
+  EXPECT_THROW(metrics.histogram("x", "h", 0, 1, 2), std::invalid_argument);
+  EXPECT_THROW(metrics.histogram("y{host=\"1\"}", "h", 0, 1, 2),
+               std::invalid_argument);
+}
+
+TEST(Metrics, PrometheusTextFormat) {
+  Metrics metrics;
+  metrics.counter("vmp_ticks_total", "ticks").inc(7);
+  metrics.gauge("vmp_depth", "queue depth").set(3);
+  HistogramMetric& histogram =
+      metrics.histogram("vmp_latency_seconds", "latency", 0.0, 2.0, 2);
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(1.6);
+
+  const std::string text = metrics.to_prometheus();
+  EXPECT_NE(text.find("# HELP vmp_ticks_total ticks\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vmp_ticks_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("vmp_ticks_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vmp_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("vmp_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vmp_latency_seconds histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative and close with +Inf/sum/count.
+  EXPECT_NE(text.find("vmp_latency_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmp_latency_seconds_bucket{le=\"2\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmp_latency_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmp_latency_seconds_sum 3.6\n"), std::string::npos);
+  EXPECT_NE(text.find("vmp_latency_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(Metrics, LabeledSeriesShareOneFamilyHeader) {
+  Metrics metrics;
+  metrics.gauge("err{host=\"0\"}", "per-host error").set(1);
+  metrics.gauge("err{host=\"1\"}", "per-host error").set(2);
+  const std::string text = metrics.to_prometheus();
+  // One HELP/TYPE pair for the family, two series lines.
+  std::size_t helps = 0, pos = 0;
+  while ((pos = text.find("# HELP err ", pos)) != std::string::npos) {
+    ++helps;
+    ++pos;
+  }
+  EXPECT_EQ(helps, 1u);
+  EXPECT_NE(text.find("err{host=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("err{host=\"1\"} 2\n"), std::string::npos);
+}
+
+TEST(Metrics, DumpIsDeterministicallySorted) {
+  Metrics metrics;
+  metrics.counter("b_total", "b").inc();
+  metrics.counter("a_total", "a").inc();
+  const std::string text = metrics.to_prometheus();
+  EXPECT_LT(text.find("a_total"), text.find("b_total"));
+  EXPECT_EQ(text, metrics.to_prometheus());
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  Metrics metrics;
+  Counter& counter = metrics.counter("hits_total", "hits");
+  HistogramMetric& histogram =
+      metrics.histogram("obs_seconds", "obs", 0.0, 1.0, 10);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.inc();
+        histogram.observe(0.5);
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, WritePrometheusFailsOnBadPath) {
+  Metrics metrics;
+  metrics.counter("c_total", "c");
+  EXPECT_THROW(metrics.write_prometheus("/nonexistent-dir/metrics.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vmp::fleet

@@ -98,6 +98,77 @@ TEST_F(MeteringLoopTest, RunInvokesCallbackPerPeriod) {
   EXPECT_GT(total_phi, 0.0);
 }
 
+TEST_F(MeteringLoopTest, ZeroRunningVmsMidRunStopsAccounting) {
+  sim::PhysicalMachine machine(spec_, 1);
+  const auto id = machine.hypervisor().create_vm(
+      common::demo_c_vm(), std::make_unique<wl::ConstantWorkload>(
+                               StateVector::cpu_only(0.9)));
+  machine.hypervisor().start_vm(id);
+
+  ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);
+  EnergyAccountant accountant(IdleAttribution::kNone);
+  MeteringLoop loop(machine, estimator, 1.0, &accountant);
+  loop.run(5.0);
+  const double energy_before = accountant.energy_j(id);
+  const double seconds_before = accountant.accounted_seconds();
+  EXPECT_GT(energy_before, 0.0);
+
+  // The fleet engine relies on empty ticks being cheap no-ops: once the last
+  // VM stops, phi must be empty and nothing further may be accounted.
+  machine.hypervisor().stop_vm(id);
+  for (int i = 0; i < 3; ++i) {
+    const MeteringSample sample = loop.step();
+    EXPECT_TRUE(sample.vms.empty());
+    EXPECT_TRUE(sample.phi.empty());
+  }
+  EXPECT_DOUBLE_EQ(accountant.energy_j(id), energy_before);
+  EXPECT_DOUBLE_EQ(accountant.accounted_seconds(), seconds_before);
+  EXPECT_EQ(loop.steps(), 8u);  // empty ticks still advance the loop clock.
+}
+
+TEST_F(MeteringLoopTest, DetachedAccountantStaysUntouched) {
+  sim::PhysicalMachine machine(spec_, 1);
+  const auto id = machine.hypervisor().create_vm(
+      common::demo_c_vm(), std::make_unique<wl::ConstantWorkload>(
+                               StateVector::cpu_only(0.8)));
+  machine.hypervisor().start_vm(id);
+  ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);
+  EnergyAccountant accountant(IdleAttribution::kNone);
+
+  // Detached loop: estimates flow, the accountant never hears of them.
+  MeteringLoop detached(machine, estimator, 1.0, /*accountant=*/nullptr);
+  detached.run(10.0);
+  EXPECT_DOUBLE_EQ(accountant.energy_j(id), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.accounted_seconds(), 0.0);
+
+  // An attached loop over the same machine picks up from here; only its own
+  // steps are billed.
+  MeteringLoop attached(machine, estimator, 1.0, &accountant);
+  attached.run(4.0);
+  EXPECT_GT(accountant.energy_j(id), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.accounted_seconds(), 4.0);
+}
+
+TEST_F(MeteringLoopTest, PeriodBoundaryRoundsToNearestWholeStep) {
+  sim::PhysicalMachine machine(spec_, 1);
+  ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);
+
+  // Exact multiple: 0.9 / 0.45 = 2 steps, clock lands on the boundary.
+  MeteringLoop even(machine, estimator, 0.45);
+  even.run(0.9);
+  EXPECT_EQ(even.steps(), 2u);
+  EXPECT_NEAR(machine.now(), 0.9, 1e-12);
+
+  // Non-multiple durations round to the nearest whole period (the documented
+  // Fig. 8 cadence: the loop never takes fractional steps): 1.0 / 0.3 ->
+  // round(3.33) = 3 steps.
+  sim::PhysicalMachine second(spec_, 1);
+  MeteringLoop uneven(second, estimator, 0.3);
+  uneven.run(1.0);
+  EXPECT_EQ(uneven.steps(), 3u);
+  EXPECT_NEAR(second.now(), 0.9, 1e-12);
+}
+
 TEST_F(MeteringLoopTest, Validation) {
   sim::PhysicalMachine machine(spec_, 1);
   ShapleyVhcEstimator estimator(dataset_.universe, dataset_.approximation);

@@ -20,9 +20,16 @@
 //   vmpower info --approx approx.vhc
 //       dump fitted combinations and weights.
 //
+//   vmpower fleet --hosts 8 --fleet VM1,VM2 --threads 4 --duration 120
+//       meter N simulated hosts concurrently and roll per-VM shares up into
+//       tenant ledgers; optional fault injection, Prometheus metrics dump,
+//       and checkpoint/resume (see the "Fleet metering service" README
+//       section).
+//
 // Fleet syntax: comma-separated Table IV type names (VM1..VM4). The machine
 // is the calibrated Xeon prototype (--machine pentium for the desktop).
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -32,6 +39,7 @@
 #include "core/collector.hpp"
 #include "core/estimator.hpp"
 #include "core/serialization.hpp"
+#include "fleet/engine.hpp"
 #include "sim/physical_machine.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -49,6 +57,11 @@ commands:
   meter   --fleet VM1,... --approx FILE [--duration S] [--seed N] [--csv FILE]
   bill    --fleet VM1,... --approx FILE [--duration S] [--tariff $/kWh] [--idle-policy none|equal|proportional]
   info    --approx FILE
+  fleet   --fleet VM1,... [--hosts N] [--threads T] [--duration S] [--tenants K]
+          [--seed N] [--tariff $/kWh] [--collect-duration S]
+          [--inject-faults meter:P,dropout:P,stale:P] [--max-retries N]
+          [--backpressure block|drop-oldest] [--queue-capacity N]
+          [--checkpoint FILE] [--metrics FILE]
 )";
 
 sim::MachineSpec machine_for(const util::CliArgs& args) {
@@ -192,6 +205,93 @@ int cmd_meter(const util::CliArgs& args, bool billing) {
   return 0;
 }
 
+int cmd_fleet(const util::CliArgs& args) {
+  fleet::FleetOptions options;
+  options.fleet_per_host = fleet_for(args);
+  options.hosts = static_cast<std::size_t>(args.get_long("hosts", 4));
+  options.threads = static_cast<std::size_t>(args.get_long("threads", 2));
+  options.tenants = static_cast<std::size_t>(args.get_long("tenants", 3));
+  options.spec = machine_for(args);
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  options.max_retries =
+      static_cast<std::uint32_t>(args.get_long("max-retries", 3));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_long("queue-capacity", 0));
+  if (args.has("inject-faults"))
+    options.faults = fleet::parse_fault_spec(args.require("inject-faults"));
+  const std::string backpressure = args.get("backpressure", "block");
+  if (backpressure == "drop-oldest")
+    options.backpressure = fleet::BackpressurePolicy::kDropOldest;
+  else if (backpressure != "block")
+    throw std::invalid_argument("unknown --backpressure '" + backpressure +
+                                "' (expected block or drop-oldest)");
+  options.validate();  // fail on bad knobs before the offline campaign runs
+
+  // The offline campaign is shared across hosts (identical machine type, so
+  // the artifacts are per type — exactly as in examples/cluster_billing).
+  core::CollectionOptions collect;
+  collect.duration_s = args.get_double("collect-duration", 120.0);
+  collect.seed = options.seed;
+  std::printf("offline: training the shared host profile (%.0f s)...\n",
+              collect.duration_s);
+  const auto dataset =
+      core::collect_offline_dataset(options.spec, options.fleet_per_host,
+                                    collect);
+
+  fleet::FleetEngine engine(options, dataset);
+  const std::string checkpoint = args.get("checkpoint");
+  if (!checkpoint.empty() && std::filesystem::exists(checkpoint)) {
+    engine.restore_checkpoint(checkpoint);
+    std::printf("resumed from checkpoint %s at tick %llu\n",
+                checkpoint.c_str(),
+                static_cast<unsigned long long>(engine.tick()));
+  }
+
+  const auto ticks =
+      static_cast<std::uint64_t>(args.get_double("duration", 60.0));
+  std::printf("online: metering %zu hosts x %zu VMs on %zu threads for %llu "
+              "ticks (%s backpressure)\n",
+              options.hosts, options.fleet_per_host.size(), options.threads,
+              static_cast<unsigned long long>(ticks),
+              to_string(options.backpressure));
+  engine.run(ticks);
+
+  const double tariff = args.get_double("tariff", 0.10);
+  const auto& ledger = engine.tenant_ledger();
+  util::TablePrinter table({"tenant", "VMs", "energy (kWh)", "cost (USD)"});
+  for (const core::TenantId tenant : ledger.tenants()) {
+    std::size_t vms = 0;
+    for (std::size_t h = 0; h < options.hosts; ++h)
+      for (std::size_t v = 0; v < options.fleet_per_host.size(); ++v)
+        if (v % options.tenants + 1 == tenant) ++vms;
+    const double kwh = common::joules_to_kwh(ledger.tenant_energy_j(tenant));
+    table.add_row({std::to_string(tenant), std::to_string(vms),
+                   util::TablePrinter::num(kwh, 6),
+                   util::TablePrinter::num(kwh * tariff, 6)});
+  }
+  table.print();
+  std::printf("ticks %llu | samples %llu | drops %llu | retries %llu | "
+              "degraded %llu | stale %llu | unattributed %.3f J\n",
+              static_cast<unsigned long long>(engine.tick()),
+              static_cast<unsigned long long>(engine.samples_processed()),
+              static_cast<unsigned long long>(engine.samples_dropped()),
+              static_cast<unsigned long long>(engine.retries()),
+              static_cast<unsigned long long>(engine.degraded_ticks()),
+              static_cast<unsigned long long>(engine.stale_ticks()),
+              ledger.unattributed_energy_j());
+
+  if (!checkpoint.empty()) {
+    engine.save_checkpoint(checkpoint);
+    std::printf("checkpoint written to %s\n", checkpoint.c_str());
+  }
+  if (args.has("metrics")) {
+    const std::string metrics_path = args.require("metrics");
+    engine.metrics().write_prometheus(metrics_path);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_info(const util::CliArgs& args) {
   const auto approx = core::load_approximation(args.require("approx"));
   std::printf("VHC linear approximation: %zu VHCs, %zu fitted combinations\n",
@@ -218,6 +318,7 @@ int main(int argc, char** argv) {
     if (command == "meter") return cmd_meter(args, /*billing=*/false);
     if (command == "bill") return cmd_meter(args, /*billing=*/true);
     if (command == "info") return cmd_info(args);
+    if (command == "fleet") return cmd_fleet(args);
     std::fputs(kUsage, command.empty() ? stdout : stderr);
     return command.empty() ? 0 : 2;
   } catch (const std::exception& error) {
