@@ -1,10 +1,101 @@
 #include "core/pricing.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/units.hpp"
 
 namespace vmp::core {
+
+namespace {
+
+/// Hour-of-day of an absolute time, in [0, 24).
+double hour_of(const TouRateSchedule& schedule, double t_s) {
+  double hour = std::fmod(t_s / schedule.seconds_per_hour, 24.0);
+  if (hour < 0.0) hour += 24.0;
+  return hour;
+}
+
+bool in_peak(const TouRateSchedule& schedule, double hour) {
+  if (schedule.peak_start_hour <= schedule.peak_end_hour)
+    return hour >= schedule.peak_start_hour && hour < schedule.peak_end_hour;
+  // Wrap-around window, e.g. 22:00 -> 06:00.
+  return hour >= schedule.peak_start_hour || hour < schedule.peak_end_hour;
+}
+
+}  // namespace
+
+void TouRateSchedule::validate() const {
+  if (offpeak_usd_per_kwh < 0.0 || peak_usd_per_kwh < 0.0)
+    throw std::invalid_argument("TouRateSchedule: negative rate");
+  if (peak_start_hour < 0.0 || peak_start_hour >= 24.0 ||
+      peak_end_hour < 0.0 || peak_end_hour >= 24.0)
+    throw std::invalid_argument(
+        "TouRateSchedule: peak hours must lie in [0, 24)");
+  if (!(seconds_per_hour > 0.0))
+    throw std::invalid_argument("TouRateSchedule: seconds_per_hour must be > 0");
+}
+
+bool TouRateSchedule::is_flat() const noexcept {
+  return peak_usd_per_kwh == offpeak_usd_per_kwh ||
+         peak_start_hour == peak_end_hour;
+}
+
+double TouRateSchedule::rate_at(double t_s) const noexcept {
+  if (is_flat()) return offpeak_usd_per_kwh;
+  return in_peak(*this, hour_of(*this, t_s)) ? peak_usd_per_kwh
+                                             : offpeak_usd_per_kwh;
+}
+
+double TouRateSchedule::next_boundary_after(double t_s) const noexcept {
+  if (is_flat()) return t_s + day_seconds();
+  const double day_base = std::floor(t_s / day_seconds()) * day_seconds();
+  double next = t_s + day_seconds();
+  // Candidate boundaries: both peak edges in this day and the next.
+  for (const double edge : {peak_start_hour, peak_end_hour})
+    for (int day = 0; day <= 1; ++day) {
+      const double boundary =
+          day_base + (edge + 24.0 * day) * seconds_per_hour;
+      if (boundary > t_s) next = std::min(next, boundary);
+    }
+  return next;
+}
+
+std::vector<TouSegment> tou_segments(const TouRateSchedule& schedule,
+                                     double t0, double t1) {
+  schedule.validate();
+  if (t1 < t0)
+    throw std::invalid_argument("tou_segments: window end precedes start");
+  std::vector<TouSegment> segments;
+  if (schedule.is_flat() && t1 > t0)  // maximal segment is the whole window.
+    return {{t0, t1, schedule.offpeak_usd_per_kwh}};
+  double cursor = t0;
+  while (cursor < t1) {
+    const double next = std::min(t1, schedule.next_boundary_after(cursor));
+    segments.push_back({cursor, next, schedule.rate_at(cursor)});
+    cursor = next;
+  }
+  return segments;
+}
+
+double tou_cost_usd(const TouRateSchedule& schedule, double t0, double t1,
+                    double energy_j) {
+  if (energy_j < 0.0)
+    throw std::invalid_argument("tou_cost_usd: negative energy");
+  if (t1 <= t0) {
+    schedule.validate();
+    if (t1 < t0)
+      throw std::invalid_argument("tou_cost_usd: window end precedes start");
+    return common::joules_to_kwh(energy_j) * schedule.rate_at(t0);
+  }
+  const double span = t1 - t0;
+  double cost = 0.0;
+  for (const TouSegment& segment : tou_segments(schedule, t0, t1))
+    cost += common::joules_to_kwh(energy_j * (segment.t1 - segment.t0) / span) *
+            segment.usd_per_kwh;
+  return cost;
+}
 
 double yearly_electricity_cost_usd(double watts, double usd_per_kwh) {
   if (watts < 0.0)

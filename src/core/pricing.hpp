@@ -15,6 +15,57 @@ namespace vmp::core {
 inline constexpr double kUsTariffUsdPerKwh = 0.10;
 inline constexpr double kGermanyTariffUsdPerKwh = 0.1921;
 
+/// Time-of-use electricity tariff: one peak window per day billed at the
+/// peak rate, everything else at the off-peak rate. Utilities price exactly
+/// this way, and a per-VM attribution service must price the *time* energy
+/// was drawn, not just the amount — the same kWh costs more at 18:00 than at
+/// 03:00. `seconds_per_hour` compresses the day for tests and benches (a
+/// "day" of 24 x 10 s makes TOU boundaries reachable in short runs).
+struct TouRateSchedule {
+  double offpeak_usd_per_kwh = kUsTariffUsdPerKwh;
+  double peak_usd_per_kwh = kUsTariffUsdPerKwh;
+  double peak_start_hour = 17.0;     ///< in [0, 24).
+  double peak_end_hour = 21.0;       ///< in [0, 24); < start wraps midnight.
+  double seconds_per_hour = 3600.0;  ///< > 0; compressible for tests.
+
+  /// Throws std::invalid_argument on negative rates, hours outside [0, 24),
+  /// or a non-positive hour length.
+  void validate() const;
+
+  /// True when peak and off-peak rates coincide or the peak window is empty
+  /// (the schedule degenerates to a flat tariff).
+  [[nodiscard]] bool is_flat() const noexcept;
+
+  [[nodiscard]] double day_seconds() const noexcept {
+    return 24.0 * seconds_per_hour;
+  }
+
+  /// Rate in force at absolute time `t_s` (seconds since accounting start).
+  [[nodiscard]] double rate_at(double t_s) const noexcept;
+
+  /// Earliest rate-change boundary strictly after `t_s` (t_s + one day for a
+  /// flat schedule, so iteration always terminates).
+  [[nodiscard]] double next_boundary_after(double t_s) const noexcept;
+};
+
+/// Maximal constant-rate interval of a schedule.
+struct TouSegment {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double usd_per_kwh = 0.0;
+};
+
+/// Splits [t0, t1) into maximal constant-rate segments, in time order.
+/// Throws std::invalid_argument when t1 < t0 or the schedule is invalid.
+[[nodiscard]] std::vector<TouSegment> tou_segments(
+    const TouRateSchedule& schedule, double t0, double t1);
+
+/// Cost of `energy_j` joules drawn at constant power over [t0, t1) under the
+/// schedule (each segment is billed its time-proportional energy share).
+/// A zero-length window is billed at rate_at(t0).
+[[nodiscard]] double tou_cost_usd(const TouRateSchedule& schedule, double t0,
+                                  double t1, double energy_j);
+
 /// Yearly electricity cost in USD of a device drawing `watts` continuously.
 [[nodiscard]] double yearly_electricity_cost_usd(double watts,
                                                  double usd_per_kwh);

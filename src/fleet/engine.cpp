@@ -174,6 +174,7 @@ void FleetEngine::run(std::uint64_t ticks) {
                 return a.host < b.host;
               });
     for (const HostTickResult& result : results) aggregate(result);
+    if (observer_) observer_(*this, now, results);
 
     ticks_total.inc();
     samples_total.inc(results.size());

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -76,6 +77,18 @@ class FleetEngine {
   /// Advances the whole fleet by `ticks` sampling periods.
   void run(std::uint64_t ticks);
 
+  /// Called on the engine thread at the end of every tick, after the ledgers
+  /// were updated, with the tick's results sorted by host id. The ledgers
+  /// are safe to read from inside the callback (same thread); this is how
+  /// serve::SnapshotStore publishes immutable query snapshots without ever
+  /// blocking the metering loop on readers.
+  using TickObserver = std::function<void(
+      const FleetEngine&, std::uint64_t tick,
+      const std::vector<HostTickResult>& results)>;
+  void set_tick_observer(TickObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
   [[nodiscard]] const FleetOptions& options() const noexcept {
     return options_;
@@ -129,6 +142,7 @@ class FleetEngine {
   BoundedQueue<HostTickResult> queue_;
   ThreadPool pool_;
   Metrics metrics_;
+  TickObserver observer_;
 
   std::uint64_t tick_ = 0;
   std::uint64_t dropped_base_ = 0;  ///< drops carried in from a checkpoint.

@@ -14,6 +14,24 @@ std::string family_of(const std::string& name) {
   return brace == std::string::npos ? name : name.substr(0, brace);
 }
 
+/// Inner label body of a metric name ("a=\"b\",c=\"d\"") or "" when plain.
+std::string labels_of(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return "";
+  auto body = name.substr(brace + 1);
+  if (!body.empty() && body.back() == '}') body.pop_back();
+  return body;
+}
+
+/// "fam_sum{labels}" / "fam_sum" — suffixed series name that keeps the label
+/// set attached to the family, as Prometheus requires for histograms.
+std::string suffixed(const std::string& family, const std::string& labels,
+                     const char* suffix) {
+  std::string out = family + suffix;
+  if (!labels.empty()) out += "{" + labels + "}";
+  return out;
+}
+
 void write_double(std::ostream& out, double value) {
   std::ostringstream text;
   text.precision(12);
@@ -77,10 +95,12 @@ Gauge& Metrics::gauge(const std::string& name, const std::string& help) {
 HistogramMetric& Metrics::histogram(const std::string& name,
                                     const std::string& help, double lo,
                                     double hi, std::size_t bins) {
-  if (name.find('{') != std::string::npos)
+  // Labelled histogram names are allowed; the exporter merges the reserved
+  // 'le' label into the series' own label set. A literal le= in the name
+  // would collide with that merge, so only that label is rejected.
+  if (labels_of(name).find("le=") != std::string::npos)
     throw std::invalid_argument(
-        "Metrics: histogram names cannot carry labels (the 'le' label is "
-        "reserved): " +
+        "Metrics: histogram labels cannot include the reserved 'le' label: " +
         name);
   std::lock_guard lock(mutex_);
   Entry& entry = entry_for(name, help);
@@ -114,19 +134,25 @@ std::string Metrics::to_prometheus() const {
       write_double(out, entry.gauge->value());
       out << '\n';
     } else if (entry.histogram) {
+      // The _bucket/_sum/_count suffixes attach to the family name, and the
+      // series' own labels merge ahead of the reserved 'le' bucket label.
+      const std::string labels = labels_of(name);
+      const std::string le_prefix = labels.empty() ? "" : labels + ",";
       const util::Histogram histogram = entry.histogram->snapshot();
       std::size_t cumulative = 0;
       for (std::size_t i = 0; i < histogram.bin_count(); ++i) {
         cumulative += histogram.bin(i);
-        out << name << "_bucket{le=\"";
+        out << family << "_bucket{" << le_prefix << "le=\"";
         write_double(out, histogram.bin_hi(i));
         out << "\"} " << cumulative << '\n';
       }
-      out << name << "_bucket{le=\"+Inf\"} " << histogram.count() << '\n';
-      out << name << "_sum ";
+      out << family << "_bucket{" << le_prefix << "le=\"+Inf\"} "
+          << histogram.count() << '\n';
+      out << suffixed(family, labels, "_sum") << ' ';
       write_double(out, entry.histogram->sum());
       out << '\n';
-      out << name << "_count " << histogram.count() << '\n';
+      out << suffixed(family, labels, "_count") << ' ' << histogram.count()
+          << '\n';
     }
   }
   return out.str();

@@ -6,8 +6,11 @@
 // shed, how often hosts needed retries. Metrics is a small thread-safe
 // registry of the three classic instrument kinds; histograms reuse
 // util::Histogram for binning. Metric names may carry Prometheus labels
-// inline ("...{host=\"3\"}"); the exporter groups HELP/TYPE per family and
-// emits everything in sorted order so dumps are diffable.
+// inline ("...{host=\"3\"}") on every kind, histograms included — the
+// exporter attaches the _bucket/_sum/_count suffixes to the family name and
+// merges the series' labels ahead of the reserved 'le' bucket label. It
+// groups HELP/TYPE per family and emits everything in sorted order so dumps
+// are diffable.
 #pragma once
 
 #include <atomic>

@@ -78,6 +78,20 @@ class BoundedQueue {
     return value;
   }
 
+  /// Non-blocking push regardless of policy: enqueues and returns true, or
+  /// returns false when the queue is full or closed (nothing is evicted and
+  /// the drop counter is untouched — the caller owns the shed accounting).
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      high_watermark_ = std::max(high_watermark_, items_.size());
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
   /// Non-blocking pop; std::nullopt when empty.
   std::optional<T> try_pop() {
     std::unique_lock lock(mutex_);

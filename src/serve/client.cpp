@@ -1,0 +1,118 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace vmp::serve {
+
+namespace {
+
+void read_or_throw(int fd, char* out, std::size_t want) {
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::recv(fd, out + got, want - got, 0);
+    if (n <= 0)
+      throw std::runtime_error("serve client: connection closed mid-response");
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::Client(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error("serve client: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address), sizeof address) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: cannot connect to 127.0.0.1:" +
+                             std::to_string(port) + ": " + what);
+  }
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0)
+      throw std::runtime_error("serve client: send failed: " +
+                               std::string(std::strerror(errno)));
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::recv_frame() {
+  char prefix[kFramePrefixBytes];
+  read_or_throw(fd_, prefix, sizeof prefix);
+  std::uint32_t length = 0;
+  for (const char byte : prefix)
+    length = (length << 8) | static_cast<std::uint8_t>(byte);
+  if (length > kMaxFrameBytes)
+    throw std::runtime_error("serve client: oversized response frame");
+  std::string frame(prefix, sizeof prefix);
+  frame.resize(sizeof prefix + length);
+  read_or_throw(fd_, frame.data() + sizeof prefix, length);
+  return frame;
+}
+
+std::string Client::recv_line() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0)
+      throw std::runtime_error("serve client: connection closed mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Response Client::query(const Request& request) {
+  send_raw(encode_frame(encode_request(request)));
+  const std::string frame = recv_frame();
+  const auto response =
+      decode_response(std::string_view(frame).substr(kFramePrefixBytes));
+  if (!response)
+    throw std::runtime_error("serve client: undecodable response body");
+  return *response;
+}
+
+std::string Client::query_text(const std::string& line) {
+  send_raw(line + "\n");
+  return recv_line();
+}
+
+}  // namespace vmp::serve

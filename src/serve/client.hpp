@@ -1,0 +1,51 @@
+// Minimal blocking loopback client for the query service.
+//
+// One Client speaks one protocol per connection (the server sniffs the mode
+// from the first byte), awaiting each response before the next request —
+// which also sidesteps the completion-order caveat documented in server.hpp.
+// The raw send/receive helpers exist so the protocol-robustness tests can
+// inject garbage, truncated frames, and mid-request disconnects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace vmp::serve {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port; throws std::runtime_error on failure.
+  explicit Client(std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Binary round trip. Transport failures throw std::runtime_error;
+  /// protocol failures come back as error Responses.
+  [[nodiscard]] Response query(const Request& request);
+
+  /// Text round trip: sends `line` (newline appended) and returns the
+  /// response line without its newline.
+  [[nodiscard]] std::string query_text(const std::string& line);
+
+  /// Raw escape hatches for robustness tests.
+  void send_raw(std::string_view bytes);
+  /// Receives one complete response frame (prefix + body); throws on EOF.
+  [[nodiscard]] std::string recv_frame();
+  /// Receives one response line without its newline; throws on EOF.
+  [[nodiscard]] std::string recv_line();
+
+  /// Half-closes the write side (simulates a mid-request disconnect).
+  void shutdown_write();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< unread bytes beyond the last line.
+};
+
+}  // namespace vmp::serve

@@ -1,0 +1,338 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace vmp::serve {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value >> 8));
+  out.push_back(static_cast<char>(value & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+void put_f64(std::string& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Cursor over a body; every get_* fails (returns false) on underrun instead
+/// of reading past the end — truncated bodies become protocol errors.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  bool get_u8(std::uint8_t& value) {
+    if (pos + 1 > data.size()) return false;
+    value = static_cast<std::uint8_t>(data[pos++]);
+    return true;
+  }
+  bool get_u16(std::uint16_t& value) {
+    if (pos + 2 > data.size()) return false;
+    value = 0;
+    for (int i = 0; i < 2; ++i)
+      value = static_cast<std::uint16_t>(
+          (value << 8) | static_cast<std::uint8_t>(data[pos++]));
+    return true;
+  }
+  bool get_u32(std::uint32_t& value) {
+    if (pos + 4 > data.size()) return false;
+    value = 0;
+    for (int i = 0; i < 4; ++i)
+      value = (value << 8) | static_cast<std::uint8_t>(data[pos++]);
+    return true;
+  }
+  bool get_u64(std::uint64_t& value) {
+    if (pos + 8 > data.size()) return false;
+    value = 0;
+    for (int i = 0; i < 8; ++i)
+      value = (value << 8) | static_cast<std::uint8_t>(data[pos++]);
+    return true;
+  }
+  bool get_f64(double& value) {
+    std::uint64_t bits = 0;
+    if (!get_u64(bits)) return false;
+    value = std::bit_cast<double>(bits);
+    return true;
+  }
+  [[nodiscard]] bool exhausted() const { return pos == data.size(); }
+};
+
+/// %.17g: shortest-ish form that still round-trips doubles exactly, so the
+/// text protocol is as faithful as the binary one.
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+bool parse_u32(std::string_view token, std::uint32_t& value) {
+  if (token.empty()) return false;
+  std::uint64_t parsed = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    if (parsed > 0xffffffffull) return false;
+  }
+  value = static_cast<std::uint32_t>(parsed);
+  return true;
+}
+
+bool parse_f64(const std::string& token, double& value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  value = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size() && std::isfinite(value);
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+const char* to_string(QueryKind kind) noexcept {
+  switch (kind) {
+    case QueryKind::kVmPower: return "vm-power";
+    case QueryKind::kTenantPower: return "tenant-power";
+    case QueryKind::kFleetPower: return "fleet-power";
+    case QueryKind::kVmEnergy: return "vm-energy";
+    case QueryKind::kTenantEnergy: return "tenant-energy";
+    case QueryKind::kTenantCost: return "tenant-cost";
+    case QueryKind::kStats: return "stats";
+  }
+  return "?";
+}
+
+std::string Request::canonical() const { return format_request_text(*this); }
+
+Response Response::success(std::uint64_t epoch, std::vector<double> values) {
+  Response response;
+  response.ok = true;
+  response.epoch = epoch;
+  response.values = std::move(values);
+  return response;
+}
+
+Response Response::error(ErrorCode code, std::string message) {
+  Response response;
+  response.ok = false;
+  response.code = code;
+  response.message = std::move(message);
+  return response;
+}
+
+std::string encode_frame(std::string_view body) {
+  std::string frame;
+  frame.reserve(kFramePrefixBytes + body.size());
+  put_u32(frame, static_cast<std::uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+std::string encode_request(const Request& request) {
+  std::string body;
+  body.push_back(static_cast<char>(request.kind));
+  switch (request.kind) {
+    case QueryKind::kVmPower:
+      put_u32(body, request.host);
+      put_u32(body, request.vm);
+      break;
+    case QueryKind::kTenantPower:
+      put_u32(body, request.tenant);
+      break;
+    case QueryKind::kVmEnergy:
+      put_u32(body, request.host);
+      put_u32(body, request.vm);
+      put_f64(body, request.t0);
+      put_f64(body, request.t1);
+      break;
+    case QueryKind::kTenantEnergy:
+    case QueryKind::kTenantCost:
+      put_u32(body, request.tenant);
+      put_f64(body, request.t0);
+      put_f64(body, request.t1);
+      break;
+    case QueryKind::kFleetPower:
+    case QueryKind::kStats:
+      break;
+  }
+  return body;
+}
+
+std::optional<Request> decode_request(std::string_view body) {
+  Reader reader{body};
+  std::uint8_t opcode = 0;
+  if (!reader.get_u8(opcode)) return std::nullopt;
+  Request request;
+  switch (static_cast<QueryKind>(opcode)) {
+    case QueryKind::kVmPower:
+      request.kind = QueryKind::kVmPower;
+      if (!reader.get_u32(request.host) || !reader.get_u32(request.vm))
+        return std::nullopt;
+      break;
+    case QueryKind::kTenantPower:
+      request.kind = QueryKind::kTenantPower;
+      if (!reader.get_u32(request.tenant)) return std::nullopt;
+      break;
+    case QueryKind::kVmEnergy:
+      request.kind = QueryKind::kVmEnergy;
+      if (!reader.get_u32(request.host) || !reader.get_u32(request.vm) ||
+          !reader.get_f64(request.t0) || !reader.get_f64(request.t1))
+        return std::nullopt;
+      break;
+    case QueryKind::kTenantEnergy:
+    case QueryKind::kTenantCost:
+      request.kind = static_cast<QueryKind>(opcode);
+      if (!reader.get_u32(request.tenant) || !reader.get_f64(request.t0) ||
+          !reader.get_f64(request.t1))
+        return std::nullopt;
+      break;
+    case QueryKind::kFleetPower:
+    case QueryKind::kStats:
+      request.kind = static_cast<QueryKind>(opcode);
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!reader.exhausted()) return std::nullopt;  // trailing operand bytes.
+  // Window bounds must be finite, matching the text parser's strictness.
+  if (!std::isfinite(request.t0) || !std::isfinite(request.t1))
+    return std::nullopt;
+  return request;
+}
+
+std::string encode_response(const Response& response) {
+  std::string body;
+  body.push_back(response.ok ? '\0' : '\1');
+  if (response.ok) {
+    put_u64(body, response.epoch);
+    body.push_back(static_cast<char>(response.values.size()));
+    for (const double value : response.values) put_f64(body, value);
+  } else {
+    put_u16(body, static_cast<std::uint16_t>(response.code));
+    put_u16(body, static_cast<std::uint16_t>(response.message.size()));
+    body.append(response.message, 0,
+                std::min<std::size_t>(response.message.size(), 0xffff));
+  }
+  return body;
+}
+
+std::optional<Response> decode_response(std::string_view body) {
+  Reader reader{body};
+  std::uint8_t status = 0;
+  if (!reader.get_u8(status) || status > 1) return std::nullopt;
+  Response response;
+  response.ok = status == 0;
+  if (response.ok) {
+    std::uint8_t count = 0;
+    if (!reader.get_u64(response.epoch) || !reader.get_u8(count))
+      return std::nullopt;
+    response.values.resize(count);
+    for (double& value : response.values)
+      if (!reader.get_f64(value)) return std::nullopt;
+  } else {
+    std::uint16_t code = 0, length = 0;
+    if (!reader.get_u16(code) || !reader.get_u16(length)) return std::nullopt;
+    if (reader.pos + length > body.size()) return std::nullopt;
+    response.code = static_cast<ErrorCode>(code);
+    response.message = std::string(body.substr(reader.pos, length));
+    reader.pos += length;
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return response;
+}
+
+std::string format_request_text(const Request& request) {
+  std::string line = to_string(request.kind);
+  switch (request.kind) {
+    case QueryKind::kVmPower:
+      line += " " + std::to_string(request.host) + " " +
+              std::to_string(request.vm);
+      break;
+    case QueryKind::kTenantPower:
+      line += " " + std::to_string(request.tenant);
+      break;
+    case QueryKind::kVmEnergy:
+      line += " " + std::to_string(request.host) + " " +
+              std::to_string(request.vm) + " " + format_double(request.t0) +
+              " " + format_double(request.t1);
+      break;
+    case QueryKind::kTenantEnergy:
+    case QueryKind::kTenantCost:
+      line += " " + std::to_string(request.tenant) + " " +
+              format_double(request.t0) + " " + format_double(request.t1);
+      break;
+    case QueryKind::kFleetPower:
+    case QueryKind::kStats:
+      break;
+  }
+  return line;
+}
+
+std::optional<Request> parse_request_text(std::string_view line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return std::nullopt;
+  Request request;
+  const std::string& verb = tokens[0];
+  if (verb == "vm-power") {
+    request.kind = QueryKind::kVmPower;
+    if (tokens.size() != 3 || !parse_u32(tokens[1], request.host) ||
+        !parse_u32(tokens[2], request.vm))
+      return std::nullopt;
+  } else if (verb == "tenant-power") {
+    request.kind = QueryKind::kTenantPower;
+    if (tokens.size() != 2 || !parse_u32(tokens[1], request.tenant))
+      return std::nullopt;
+  } else if (verb == "fleet-power") {
+    request.kind = QueryKind::kFleetPower;
+    if (tokens.size() != 1) return std::nullopt;
+  } else if (verb == "vm-energy") {
+    request.kind = QueryKind::kVmEnergy;
+    if (tokens.size() != 5 || !parse_u32(tokens[1], request.host) ||
+        !parse_u32(tokens[2], request.vm) || !parse_f64(tokens[3], request.t0) ||
+        !parse_f64(tokens[4], request.t1))
+      return std::nullopt;
+  } else if (verb == "tenant-energy" || verb == "tenant-cost") {
+    request.kind = verb == "tenant-energy" ? QueryKind::kTenantEnergy
+                                           : QueryKind::kTenantCost;
+    if (tokens.size() != 4 || !parse_u32(tokens[1], request.tenant) ||
+        !parse_f64(tokens[2], request.t0) || !parse_f64(tokens[3], request.t1))
+      return std::nullopt;
+  } else if (verb == "stats") {
+    request.kind = QueryKind::kStats;
+    if (tokens.size() != 1) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string format_response_text(const Response& response) {
+  if (!response.ok)
+    return "ERR " + std::to_string(static_cast<int>(response.code)) + " " +
+           response.message;
+  std::string line = "OK " + std::to_string(response.epoch);
+  for (const double value : response.values) line += " " + format_double(value);
+  return line;
+}
+
+}  // namespace vmp::serve

@@ -1,0 +1,99 @@
+// Wire protocol of the attribution query service.
+//
+// Two encodings of the same request/response model share one dispatch path:
+//
+//  * Binary: every frame is a 4-byte big-endian body length followed by the
+//    body. Request bodies are an opcode byte (QueryKind) plus fixed-size
+//    big-endian operands (u32 ids, IEEE-754 f64 times); a body whose length
+//    does not match its opcode's operand layout is a protocol error, never a
+//    crash. Response bodies are a status byte, then either
+//    `u64 epoch, u8 count, count x f64` (OK) or `u16 code, u16 len, message`
+//    (error). Frames longer than kMaxFrameBytes are rejected up front.
+//
+//  * Text: one newline-terminated line per request ("tenant-energy 2 10 50"),
+//    one line per response ("OK <epoch> <values...>" / "ERR <code> <msg>") —
+//    telnet-friendly and self-describing.
+//
+// Doubles are formatted with %.17g so text responses round-trip exactly and
+// identical queries produce byte-identical responses on every transport.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmp::serve {
+
+enum class QueryKind : std::uint8_t {
+  kVmPower = 1,      ///< instant Shapley share of one VM, W.
+  kTenantPower = 2,  ///< instant cross-host tenant power, W.
+  kFleetPower = 3,   ///< instant fleet-wide allocated power, W.
+  kVmEnergy = 4,     ///< VM energy over [t0, t1], J.
+  kTenantEnergy = 5, ///< tenant energy over [t0, t1], J.
+  kTenantCost = 6,   ///< tenant cost over [t0, t1] under the TOU schedule.
+  kStats = 7,        ///< fleet rollup (tick, counts, totals).
+};
+
+[[nodiscard]] const char* to_string(QueryKind kind) noexcept;
+
+struct Request {
+  QueryKind kind = QueryKind::kStats;
+  std::uint32_t host = 0;
+  std::uint32_t vm = 0;
+  std::uint32_t tenant = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+
+  /// Canonical text form; doubles as the result-cache key basis.
+  [[nodiscard]] std::string canonical() const;
+};
+
+enum class ErrorCode : std::uint16_t {
+  kMalformed = 1,       ///< unparseable frame/line or operand layout.
+  kUnknownQuery = 2,    ///< opcode/verb not in QueryKind.
+  kNoSnapshot = 3,      ///< nothing published yet.
+  kUnknownEntity = 4,   ///< host/vm/tenant not in the snapshot.
+  kOutOfRetention = 5,  ///< window start predates the retention ring.
+  kBadWindow = 6,       ///< t1 < t0 or non-finite bounds.
+  kOverloaded = 7,      ///< request queue full; shed.
+  kThrottled = 8,       ///< per-client token bucket empty; shed.
+  kFrameTooLarge = 9,   ///< declared frame length exceeds kMaxFrameBytes.
+};
+
+struct Response {
+  bool ok = false;
+  std::uint64_t epoch = 0;  ///< snapshot epoch the answer was computed at.
+  std::vector<double> values;
+  ErrorCode code = ErrorCode::kMalformed;
+  std::string message;
+
+  static Response success(std::uint64_t epoch, std::vector<double> values);
+  static Response error(ErrorCode code, std::string message);
+};
+
+inline constexpr std::size_t kFramePrefixBytes = 4;
+inline constexpr std::size_t kMaxFrameBytes = 64 * 1024;
+inline constexpr std::size_t kMaxLineBytes = 1024;
+
+/// Length-prefixes `body` (the framing shared by requests and responses).
+[[nodiscard]] std::string encode_frame(std::string_view body);
+
+/// --- binary bodies ---------------------------------------------------------
+
+[[nodiscard]] std::string encode_request(const Request& request);
+/// nullopt on an unknown opcode or operand-layout mismatch.
+[[nodiscard]] std::optional<Request> decode_request(std::string_view body);
+
+[[nodiscard]] std::string encode_response(const Response& response);
+[[nodiscard]] std::optional<Response> decode_response(std::string_view body);
+
+/// --- text lines (no trailing newline) --------------------------------------
+
+[[nodiscard]] std::string format_request_text(const Request& request);
+[[nodiscard]] std::optional<Request> parse_request_text(std::string_view line);
+
+[[nodiscard]] std::string format_response_text(const Response& response);
+
+}  // namespace vmp::serve

@@ -1,0 +1,232 @@
+#include "serve/query.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace vmp::serve {
+
+namespace {
+
+bool is_window_query(QueryKind kind) noexcept {
+  return kind == QueryKind::kVmEnergy || kind == QueryKind::kTenantEnergy ||
+         kind == QueryKind::kTenantCost;
+}
+
+double tenant_energy_in(const Snapshot& snapshot, core::TenantId tenant) {
+  const TenantRecord* record = snapshot.find_tenant(tenant);
+  return record ? record->energy_j : 0.0;
+}
+
+/// Zero-energy baseline for window bounds that precede the first snapshot:
+/// accounting starts at zero, so "before the beginning" is a legitimate
+/// epoch-0 state, not missing history.
+const std::shared_ptr<const Snapshot>& genesis_baseline() {
+  static const std::shared_ptr<const Snapshot> baseline =
+      std::make_shared<const Snapshot>();
+  return baseline;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const SnapshotStore& store, QueryEngineOptions options)
+    : store_(store), options_(std::move(options)) {
+  options_.tou.validate();
+}
+
+Response QueryEngine::execute(const Request& request) {
+  const auto latest = store_.latest();
+  if (!latest)
+    return Response::error(ErrorCode::kNoSnapshot,
+                           "no snapshot published yet");
+
+  Response cached;
+  if (!is_window_query(request.kind)) {
+    const std::string key =
+        request.canonical() + "@" + std::to_string(latest->epoch);
+    if (cache_lookup(key, cached)) return note_hit(cached);
+    note_miss();
+    Response response = evaluate(request, nullptr, latest);
+    cache_insert(key, response);
+    return response;
+  }
+
+  if (!std::isfinite(request.t0) || !std::isfinite(request.t1) ||
+      request.t1 < request.t0)
+    return Response::error(ErrorCode::kBadWindow, "window end precedes start");
+
+  // Fast path: against an unchanged store the same window resolves to the
+  // same epoch pair (the ring only mutates on publish, which moves the
+  // latest epoch), so the latest epoch alone vouches for a cached entry
+  // without paying the two retention-ring searches per hit.
+  const std::string fast_key =
+      request.canonical() + "@L" + std::to_string(latest->epoch);
+  if (cache_lookup(fast_key, cached)) return note_hit(cached);
+
+  std::shared_ptr<const Snapshot> s0 = store_.at_or_before(request.t0);
+  if (!s0) {
+    // A bound before the oldest snapshot is a zero baseline while the
+    // genesis snapshot (epoch 1) is still retained; once it has been
+    // evicted the history is genuinely gone.
+    const auto first = store_.oldest();
+    if (!first || first->epoch != 1)
+      return Response::error(
+          ErrorCode::kOutOfRetention,
+          "window start predates the snapshot retention ring");
+    s0 = genesis_baseline();
+  }
+  std::shared_ptr<const Snapshot> s1 =
+      request.t1 >= latest->time_s ? latest : store_.at_or_before(request.t1);
+  // t1 >= t0, so s1 can only be null when s0 already fell back to the
+  // genesis baseline: the whole window predates accounting.
+  if (!s1) s1 = s0;
+
+  // Durable key: pinned to the resolved epoch pair, so the entry stays valid
+  // across publishes that leave the pair — and therefore the answer —
+  // unchanged.
+  const std::string key = request.canonical() + "@" +
+                          std::to_string(s0->epoch) + ":" +
+                          std::to_string(s1->epoch);
+  if (cache_lookup(key, cached)) {
+    cache_insert(fast_key, cached);  // re-arm the fast path at this epoch.
+    return note_hit(cached);
+  }
+  note_miss();
+  Response response = evaluate(request, s0, s1);
+  cache_insert(key, response);
+  cache_insert(fast_key, response);
+  return response;
+}
+
+Response QueryEngine::note_hit(const Response& response) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.metrics)
+    options_.metrics
+        ->counter("vmpower_serve_cache_hits_total", "Result-cache hits")
+        .inc();
+  return response;
+}
+
+void QueryEngine::note_miss() {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.metrics)
+    options_.metrics
+        ->counter("vmpower_serve_cache_misses_total", "Result-cache misses")
+        .inc();
+}
+
+Response QueryEngine::evaluate(
+    const Request& request, const std::shared_ptr<const Snapshot>& s0,
+    const std::shared_ptr<const Snapshot>& s1) const {
+  const Snapshot& head = *s1;
+  switch (request.kind) {
+    case QueryKind::kVmPower: {
+      const VmRecord* record = head.find_vm(request.host, request.vm);
+      if (!record)
+        return Response::error(ErrorCode::kUnknownEntity,
+                               "unknown vm " + std::to_string(request.host) +
+                                   "/" + std::to_string(request.vm));
+      return Response::success(head.epoch, {record->power_w});
+    }
+    case QueryKind::kTenantPower: {
+      const TenantRecord* record = head.find_tenant(request.tenant);
+      if (!record)
+        return Response::error(
+            ErrorCode::kUnknownEntity,
+            "unknown tenant " + std::to_string(request.tenant));
+      return Response::success(head.epoch, {record->power_w});
+    }
+    case QueryKind::kFleetPower:
+      return Response::success(head.epoch, {head.total_power_w});
+    case QueryKind::kVmEnergy: {
+      const VmRecord* r1 = head.find_vm(request.host, request.vm);
+      if (!r1)
+        return Response::error(ErrorCode::kUnknownEntity,
+                               "unknown vm " + std::to_string(request.host) +
+                                   "/" + std::to_string(request.vm));
+      const VmRecord* r0 = s0->find_vm(request.host, request.vm);
+      return Response::success(head.epoch,
+                               {r1->energy_j - (r0 ? r0->energy_j : 0.0)});
+    }
+    case QueryKind::kTenantEnergy: {
+      if (!head.find_tenant(request.tenant))
+        return Response::error(
+            ErrorCode::kUnknownEntity,
+            "unknown tenant " + std::to_string(request.tenant));
+      return Response::success(head.epoch,
+                               {tenant_energy_in(head, request.tenant) -
+                                tenant_energy_in(*s0, request.tenant)});
+    }
+    case QueryKind::kTenantCost: {
+      if (!head.find_tenant(request.tenant))
+        return Response::error(
+            ErrorCode::kUnknownEntity,
+            "unknown tenant " + std::to_string(request.tenant));
+      // Price each constant-rate segment at the energy actually drawn in it
+      // (snapshot differences), so the per-segment energies telescope to the
+      // window total.
+      const double e_start = tenant_energy_in(*s0, request.tenant);
+      const double e_end = tenant_energy_in(head, request.tenant);
+      double cost = 0.0;
+      double previous = e_start;
+      for (const core::TouSegment& segment :
+           core::tou_segments(options_.tou, request.t0, request.t1)) {
+        double at_boundary = e_end;
+        if (segment.t1 < request.t1) {
+          auto snapshot = store_.at_or_before(segment.t1);
+          if (!snapshot) {
+            const auto first = store_.oldest();
+            if (!first || first->epoch != 1)
+              return Response::error(ErrorCode::kOutOfRetention,
+                                     "window slid out of retention");
+            snapshot = genesis_baseline();  // boundary predates accounting.
+          }
+          at_boundary = tenant_energy_in(*snapshot, request.tenant);
+        }
+        cost += common::joules_to_kwh(at_boundary - previous) *
+                segment.usd_per_kwh;
+        previous = at_boundary;
+      }
+      return Response::success(head.epoch, {cost, e_end - e_start});
+    }
+    case QueryKind::kStats:
+      return Response::success(
+          head.epoch,
+          {static_cast<double>(head.tick), head.time_s,
+           static_cast<double>(head.vms.size()),
+           static_cast<double>(head.tenants.size()), head.total_power_w,
+           head.total_energy_j, head.unattributed_j});
+  }
+  return Response::error(ErrorCode::kUnknownQuery, "unhandled query kind");
+}
+
+bool QueryEngine::cache_lookup(const std::string& key, Response& out) {
+  if (options_.cache_capacity == 0) return false;
+  std::lock_guard lock(cache_mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch.
+  out = it->second->response;
+  return true;
+}
+
+void QueryEngine::cache_insert(const std::string& key,
+                               const Response& response) {
+  if (options_.cache_capacity == 0) return;
+  std::lock_guard lock(cache_mutex_);
+  if (index_.contains(key)) return;  // raced with another worker; keep first.
+  lru_.push_front(CacheEntry{key, response});
+  index_[key] = lru_.begin();
+  if (lru_.size() > options_.cache_capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    if (options_.metrics)
+      options_.metrics
+          ->counter("vmpower_serve_cache_evictions_total",
+                    "Result-cache LRU evictions")
+          .inc();
+  }
+}
+
+}  // namespace vmp::serve

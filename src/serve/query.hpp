@@ -1,0 +1,88 @@
+// Query evaluation over snapshots, fronted by an epoch-keyed LRU cache.
+//
+// Point queries read the latest snapshot; window queries difference
+// cumulative energy between the two retained snapshots bracketing [t0, t1]
+// (step semantics: the newest snapshot at-or-before each bound), so a window
+// always sees one consistent epoch pair even while the engine keeps
+// publishing. Cost queries split the window along the time-of-use schedule's
+// rate boundaries and difference energy per segment — the segment energies
+// telescope to the window total, so the TOU bill prices *when* the energy
+// was drawn without ever inventing or losing a joule.
+//
+// The result cache is keyed by (canonical query, resolved epoch(s)): a new
+// publish changes the latest epoch, which invalidates point-query entries by
+// construction, while window entries stay valid because their epoch pair —
+// and therefore their answer — is unchanged. Window queries carry a second,
+// fast key bound to the latest epoch: against an unchanged store the same
+// window resolves to the same pair, so repeat hits skip the retention-ring
+// searches entirely and only the first hit after a publish re-resolves.
+// Capacity 0 disables caching.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/pricing.hpp"
+#include "fleet/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/snapshot.hpp"
+
+namespace vmp::serve {
+
+struct QueryEngineOptions {
+  std::size_t cache_capacity = 1024;  ///< 0 disables the result cache.
+  /// Tariff for kTenantCost; the default is flat at the Table I US rate.
+  core::TouRateSchedule tou{};
+  /// When set, cache hits/misses/evictions are exported as counters.
+  fleet::Metrics* metrics = nullptr;
+};
+
+class QueryEngine {
+ public:
+  /// Validates the TOU schedule (throws std::invalid_argument). The store
+  /// must outlive the engine.
+  QueryEngine(const SnapshotStore& store, QueryEngineOptions options = {});
+
+  /// Executes one request; never throws on malformed queries — every failure
+  /// is an error Response. Thread-safe.
+  [[nodiscard]] Response execute(const Request& request);
+
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] Response evaluate(const Request& request,
+                                  const std::shared_ptr<const Snapshot>& s0,
+                                  const std::shared_ptr<const Snapshot>& s1)
+      const;
+
+  /// Hit/miss accounting lives in note_hit/note_miss so a window query that
+  /// misses its fast key but hits its epoch-pair key counts once.
+  Response note_hit(const Response& response);
+  void note_miss();
+  bool cache_lookup(const std::string& key, Response& out);
+  void cache_insert(const std::string& key, const Response& response);
+
+  const SnapshotStore& store_;
+  QueryEngineOptions options_;
+
+  // LRU: list front = most recent; map points into the list.
+  struct CacheEntry {
+    std::string key;
+    Response response;
+  };
+  std::mutex cache_mutex_;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> index_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace vmp::serve

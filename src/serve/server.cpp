@@ -1,0 +1,260 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace vmp::serve {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// recv() exactly `want` bytes; false on EOF/error (drop the connection).
+bool read_fully(int fd, char* out, std::size_t want) {
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::recv(fd, out + got, want - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_fully(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ServerOptions::validate() const {
+  if (workers == 0)
+    throw std::invalid_argument("ServerOptions: need at least one worker");
+  if (queue_capacity == 0)
+    throw std::invalid_argument("ServerOptions: queue capacity must be >= 1");
+  if (!(token_burst > 0.0) || tokens_per_s < 0.0)
+    throw std::invalid_argument("ServerOptions: bad token bucket parameters");
+}
+
+Server::Server(QueryEngine& engine, fleet::Metrics& metrics,
+               ServerOptions options)
+    : options_((options.validate(), options)),
+      dispatcher_(engine, &metrics),
+      metrics_(metrics),
+      queue_(options_.queue_capacity) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof address) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    throw std::runtime_error("serve: cannot listen on 127.0.0.1:" +
+                             std::to_string(options_.port) + ": " + what);
+  }
+  socklen_t length = sizeof address;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
+  port_ = ntohs(address.sin_port);
+
+  metrics_.gauge("vmpower_serve_active_connections",
+                 "Currently open client connections");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+  VMP_LOG_INFO("serve: listening on 127.0.0.1:%u", port_);
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+
+  queue_.close();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+
+  std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> conns;
+  {
+    std::lock_guard lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& [conn, thread] : conns) {
+    conn->open.store(false, std::memory_order_relaxed);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& [conn, thread] : conns) {
+    if (thread.joinable()) thread.join();
+    ::close(conn->fd);
+  }
+}
+
+void Server::accept_loop() {
+  fleet::Counter& accepted = metrics_.counter(
+      "vmpower_serve_connections_total", "Client connections accepted");
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listening socket gone; nothing sensible left to accept.
+    }
+    accepted.inc();
+    auto conn = std::make_shared<Conn>(fd, options_);
+    std::lock_guard lock(conns_mutex_);
+    conns_.emplace_back(conn,
+                        std::thread([this, conn] { serve_connection(conn); }));
+  }
+}
+
+void Server::serve_connection(const std::shared_ptr<Conn>& conn) {
+  fleet::Gauge& active = metrics_.gauge("vmpower_serve_active_connections",
+                                        "Currently open client connections");
+  active.set(static_cast<double>(
+      active_conns_.fetch_add(1, std::memory_order_relaxed) + 1));
+  // Protocol sniff: binary frames open with a 4-byte big-endian length whose
+  // first byte is 0x00 for any frame under 16 MiB; text lines open with a
+  // printable verb.
+  char first = 0;
+  const ssize_t peeked = ::recv(conn->fd, &first, 1, MSG_PEEK);
+  if (peeked == 1) {
+    if (static_cast<unsigned char>(first) < 0x20)
+      serve_binary(conn);
+    else
+      serve_text(conn);
+  }
+  conn->open.store(false, std::memory_order_relaxed);
+  ::shutdown(conn->fd, SHUT_RDWR);  // unblocks any late worker write cleanly.
+  active.set(static_cast<double>(
+      active_conns_.fetch_sub(1, std::memory_order_relaxed) - 1));
+}
+
+void Server::serve_binary(const std::shared_ptr<Conn>& conn) {
+  while (conn->open.load(std::memory_order_relaxed)) {
+    char prefix[kFramePrefixBytes];
+    if (!read_fully(conn->fd, prefix, sizeof prefix)) return;
+    std::uint32_t length = 0;
+    for (const char byte : prefix)
+      length = (length << 8) | static_cast<std::uint8_t>(byte);
+    if (length > kMaxFrameBytes) {
+      // Cannot resync a stream after refusing to read the body; reject and
+      // drop the connection.
+      reply_error(*conn, /*binary=*/true, ErrorCode::kFrameTooLarge,
+                  "frame exceeds 64 KiB limit");
+      return;
+    }
+    std::string body(length, '\0');
+    if (!read_fully(conn->fd, body.data(), length)) return;  // mid-frame EOF.
+    admit(conn, std::move(body), /*binary=*/true);
+  }
+}
+
+void Server::serve_text(const std::shared_ptr<Conn>& conn) {
+  std::string buffer;
+  char chunk[1024];
+  while (conn->open.load(std::memory_order_relaxed)) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      if (buffer.size() > kMaxLineBytes) {
+        reply_error(*conn, /*binary=*/false, ErrorCode::kMalformed,
+                    "line exceeds 1 KiB limit");
+        return;
+      }
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+      if (n <= 0) return;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank lines are keep-alive no-ops.
+    admit(conn, std::move(line), /*binary=*/false);
+  }
+}
+
+void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
+                   bool binary) {
+  if (!conn->bucket.try_acquire(steady_seconds())) {
+    metrics_
+        .counter("vmpower_serve_shed_total{reason=\"throttle\"}",
+                 "Requests shed by per-client token buckets")
+        .inc();
+    reply_error(*conn, binary, ErrorCode::kThrottled,
+                "client exceeded its request rate");
+    return;
+  }
+  if (!queue_.try_push(Task{conn, std::move(payload), binary})) {
+    metrics_
+        .counter("vmpower_serve_shed_total{reason=\"queue\"}",
+                 "Requests shed by the bounded request queue")
+        .inc();
+    reply_error(*conn, binary, ErrorCode::kOverloaded,
+                "request queue is full");
+    return;
+  }
+  metrics_
+      .gauge("vmpower_serve_queue_high_watermark",
+             "Deepest the request queue has ever run")
+      .set(static_cast<double>(queue_.high_watermark()));
+}
+
+void Server::worker_loop() {
+  while (auto task = queue_.pop()) {
+    if (options_.worker_delay.count() > 0)
+      std::this_thread::sleep_for(options_.worker_delay);
+    if (task->binary)
+      reply(*task->conn,
+            encode_frame(dispatcher_.handle_binary(task->payload)));
+    else
+      reply(*task->conn, dispatcher_.handle_text(task->payload) + "\n");
+  }
+}
+
+void Server::reply(Conn& conn, std::string_view bytes) {
+  if (!conn.open.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(conn.write_mutex);
+  if (!send_fully(conn.fd, bytes))
+    conn.open.store(false, std::memory_order_relaxed);
+}
+
+void Server::reply_error(Conn& conn, bool binary, ErrorCode code,
+                         const std::string& message) {
+  const Response response = Response::error(code, message);
+  if (binary)
+    reply(conn, encode_frame(encode_response(response)));
+  else
+    reply(conn, format_response_text(response) + "\n");
+}
+
+}  // namespace vmp::serve

@@ -1,0 +1,112 @@
+// Loopback TCP front end of the attribution query service.
+//
+// One acceptor thread hands each connection to a reader thread that sniffs
+// the protocol from the first byte (a control byte starts a length-prefixed
+// binary frame, anything printable starts a text line), applies per-client
+// token-bucket admission, and enqueues admitted requests on a bounded queue
+// drained by a small worker pool. Overload is shed at the edge with an
+// explicit error response — a throttled or overflowed request never touches
+// a worker — and every shed is counted in fleet::Metrics. Responses are
+// written in completion order; a client that pipelines requests on one
+// connection may see a shed error overtake an earlier slow response (the
+// protocol carries no request ids yet — see ROADMAP), so strictly ordered
+// clients await each response, as the CLI client does.
+//
+// The server binds 127.0.0.1 only: attribution data is tenant-billing data,
+// and transport hardening (TLS, auth) is out of scope for the loopback MVP.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fleet/metrics.hpp"
+#include "fleet/queue.hpp"
+#include "serve/query.hpp"
+#include "serve/token_bucket.hpp"
+#include "serve/transport.hpp"
+
+namespace vmp::serve {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see Server::port).
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 64;
+  double tokens_per_s = 10000.0;  ///< per-connection refill rate.
+  double token_burst = 1000.0;    ///< per-connection bucket depth.
+  /// Test hook: stalls each worker per request so overload tests can fill
+  /// the queue deterministically. Zero in production.
+  std::chrono::milliseconds worker_delay{0};
+
+  /// Throws std::invalid_argument on zero workers/queue capacity or a
+  /// non-positive bucket.
+  void validate() const;
+};
+
+class Server {
+ public:
+  /// Binds and listens on 127.0.0.1 and starts the acceptor and workers.
+  /// Throws std::runtime_error when the socket cannot be set up.
+  Server(QueryEngine& engine, fleet::Metrics& metrics,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Idempotent; joins every thread and closes every connection.
+  void stop();
+
+  /// The actual bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> open{true};
+    TokenBucket bucket;
+    explicit Conn(int descriptor, const ServerOptions& options)
+        : fd(descriptor),
+          bucket(options.tokens_per_s, options.token_burst) {}
+  };
+
+  struct Task {
+    std::shared_ptr<Conn> conn;
+    std::string payload;  ///< binary body or text line.
+    bool binary = false;
+  };
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Conn>& conn);
+  void serve_binary(const std::shared_ptr<Conn>& conn);
+  void serve_text(const std::shared_ptr<Conn>& conn);
+  void worker_loop();
+  /// Token bucket + queue admission; writes the shed error itself when the
+  /// request is rejected.
+  void admit(const std::shared_ptr<Conn>& conn, std::string payload,
+             bool binary);
+  void reply(Conn& conn, std::string_view bytes);
+  void reply_error(Conn& conn, bool binary, ErrorCode code,
+                   const std::string& message);
+
+  ServerOptions options_;
+  Dispatcher dispatcher_;
+  fleet::Metrics& metrics_;
+  fleet::BoundedQueue<Task> queue_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> active_conns_{0};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mutex_;
+  std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> conns_;
+};
+
+}  // namespace vmp::serve

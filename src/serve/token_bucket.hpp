@@ -1,0 +1,61 @@
+// Token-bucket admission control for the query service.
+//
+// Each client connection gets one bucket: `burst` tokens of depth refilled at
+// `tokens_per_s`. A request that finds the bucket empty is rejected up front
+// (HTTP would say 429) instead of queueing — overload control belongs at the
+// edge, before a request consumes a queue slot or a worker. The bucket is
+// driven by an explicit clock value so tests are deterministic and callers
+// can share one clock read across checks.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmp::serve {
+
+class TokenBucket {
+ public:
+  /// Throws std::invalid_argument on a non-positive burst or negative rate.
+  TokenBucket(double tokens_per_s, double burst)
+      : rate_(tokens_per_s), burst_(burst), tokens_(burst) {
+    if (!(burst > 0.0))
+      throw std::invalid_argument("TokenBucket: burst must be > 0");
+    if (tokens_per_s < 0.0)
+      throw std::invalid_argument("TokenBucket: negative refill rate");
+  }
+
+  /// Takes one token at monotone time `now_s`; returns whether the request
+  /// is admitted. Time moving backwards is treated as "no time passed".
+  bool try_acquire(double now_s) {
+    refill(now_s);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Tokens available at `now_s` (diagnostics).
+  [[nodiscard]] double available(double now_s) {
+    refill(now_s);
+    return tokens_;
+  }
+
+ private:
+  void refill(double now_s) {
+    if (!primed_) {
+      primed_ = true;
+      last_s_ = now_s;
+      return;
+    }
+    if (now_s > last_s_)
+      tokens_ = std::min(burst_, tokens_ + (now_s - last_s_) * rate_);
+    last_s_ = std::max(last_s_, now_s);
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_s_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace vmp::serve

@@ -1,0 +1,106 @@
+#include "serve/transport.hpp"
+
+#include <chrono>
+
+namespace vmp::serve {
+
+namespace {
+
+constexpr double kLatencyLoS = 0.0;
+constexpr double kLatencyHiS = 0.002;
+constexpr std::size_t kLatencyBins = 40;
+
+std::uint32_t read_prefix(std::string_view frame) {
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < kFramePrefixBytes; ++i)
+    length = (length << 8) | static_cast<std::uint8_t>(frame[i]);
+  return length;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(QueryEngine& engine, fleet::Metrics* metrics)
+    : engine_(engine), metrics_(metrics) {}
+
+Response Dispatcher::run(const std::optional<Request>& request,
+                         const char* proto) {
+  if (!request) {
+    if (metrics_)
+      metrics_
+          ->counter("vmpower_serve_protocol_errors_total",
+                    "Requests rejected as unparseable")
+          .inc();
+    return Response::error(ErrorCode::kMalformed, "unparseable request");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Response response = engine_.execute(*request);
+  if (metrics_) {
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const std::string proto_label(proto);
+    const std::string kind_label(to_string(request->kind));
+    metrics_
+        ->counter("vmpower_serve_requests_total{proto=\"" + proto_label +
+                      "\",kind=\"" + kind_label + "\"}",
+                  "Requests dispatched, by protocol and query kind")
+        .inc();
+    metrics_
+        ->histogram("vmpower_serve_request_latency_seconds{proto=\"" +
+                        proto_label + "\"}",
+                    "Query execution latency by protocol", kLatencyLoS,
+                    kLatencyHiS, kLatencyBins)
+        .observe(elapsed_s);
+    metrics_
+        ->histogram(
+            "vmpower_serve_query_latency_seconds{kind=\"" + kind_label + "\"}",
+            "Query execution latency by query kind", kLatencyLoS, kLatencyHiS,
+            kLatencyBins)
+        .observe(elapsed_s);
+  }
+  return response;
+}
+
+std::string Dispatcher::handle_binary(std::string_view body) {
+  return encode_response(run(decode_request(body), "binary"));
+}
+
+std::string Dispatcher::handle_text(std::string_view line) {
+  return format_response_text(run(parse_request_text(line), "text"));
+}
+
+InProcessTransport::InProcessTransport(QueryEngine& engine,
+                                       fleet::Metrics* metrics)
+    : dispatcher_(engine, metrics) {}
+
+std::string InProcessTransport::roundtrip_binary(std::string_view frame) {
+  if (frame.size() < kFramePrefixBytes)
+    return encode_frame(encode_response(
+        Response::error(ErrorCode::kMalformed, "truncated frame prefix")));
+  const std::uint32_t length = read_prefix(frame);
+  if (length > kMaxFrameBytes)
+    return encode_frame(encode_response(Response::error(
+        ErrorCode::kFrameTooLarge, "frame exceeds 64 KiB limit")));
+  if (frame.size() != kFramePrefixBytes + length)
+    return encode_frame(encode_response(
+        Response::error(ErrorCode::kMalformed, "frame length mismatch")));
+  return encode_frame(dispatcher_.handle_binary(frame.substr(kFramePrefixBytes)));
+}
+
+std::string InProcessTransport::roundtrip_text(std::string_view line) {
+  if (!line.empty() && line.back() == '\n') line.remove_suffix(1);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return dispatcher_.handle_text(line);
+}
+
+Response InProcessTransport::query(const Request& request) {
+  const std::string frame =
+      roundtrip_binary(encode_frame(encode_request(request)));
+  const auto response = decode_response(
+      std::string_view(frame).substr(kFramePrefixBytes));
+  return response ? *response
+                  : Response::error(ErrorCode::kMalformed,
+                                    "undecodable response");
+}
+
+}  // namespace vmp::serve

@@ -1,0 +1,61 @@
+// The single request path shared by every transport.
+//
+// Dispatcher turns request bytes into response bytes: decode (binary body or
+// text line) -> QueryEngine::execute -> encode, with per-protocol and
+// per-query-kind latency histograms and a protocol-error counter. The TCP
+// server's workers and the in-process transport both call it, which is what
+// makes "the same query returns byte-identical responses on every transport"
+// true by construction rather than by test luck — and lets tests and benches
+// drive the exact production path deterministically, no sockets involved.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fleet/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/query.hpp"
+
+namespace vmp::serve {
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(QueryEngine& engine, fleet::Metrics* metrics = nullptr);
+
+  /// Handles one binary request body (unframed); returns the response body.
+  [[nodiscard]] std::string handle_binary(std::string_view body);
+
+  /// Handles one request line (no newline); returns the response line.
+  [[nodiscard]] std::string handle_text(std::string_view line);
+
+ private:
+  [[nodiscard]] Response run(const std::optional<Request>& request,
+                             const char* proto);
+
+  QueryEngine& engine_;
+  fleet::Metrics* metrics_;
+};
+
+/// Drives the dispatcher with the server's framing rules, in process.
+class InProcessTransport {
+ public:
+  explicit InProcessTransport(QueryEngine& engine,
+                              fleet::Metrics* metrics = nullptr);
+
+  /// Full binary round trip: a framed request in, a framed response out.
+  /// Applies the server's frame checks (oversized, truncated, trailing
+  /// bytes all yield protocol-error responses, never exceptions).
+  [[nodiscard]] std::string roundtrip_binary(std::string_view frame);
+
+  /// Text round trip: one request line in (trailing newline optional), the
+  /// response line out (no newline).
+  [[nodiscard]] std::string roundtrip_text(std::string_view line);
+
+  /// Struct-level convenience over the binary path.
+  [[nodiscard]] Response query(const Request& request);
+
+ private:
+  Dispatcher dispatcher_;
+};
+
+}  // namespace vmp::serve

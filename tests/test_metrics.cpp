@@ -38,13 +38,46 @@ TEST(Metrics, ReRegistrationReturnsSameInstrument) {
   EXPECT_EQ(again.value(), 1u);
 }
 
-TEST(Metrics, KindConflictsAndLabeledHistogramsThrow) {
+TEST(Metrics, KindConflictsAndReservedLabelsThrow) {
   Metrics metrics;
   metrics.counter("x", "h");
   EXPECT_THROW(metrics.gauge("x", "h"), std::invalid_argument);
   EXPECT_THROW(metrics.histogram("x", "h", 0, 1, 2), std::invalid_argument);
-  EXPECT_THROW(metrics.histogram("y{host=\"1\"}", "h", 0, 1, 2),
+  // Labeled histograms are allowed, but `le` is reserved for the bucket
+  // boundary the exporter appends itself.
+  metrics.histogram("y{host=\"1\"}", "h", 0, 1, 2);
+  EXPECT_THROW(metrics.histogram("z{le=\"0.5\"}", "h", 0, 1, 2),
                std::invalid_argument);
+}
+
+TEST(Metrics, LabeledHistogramMergesLeIntoExistingLabels) {
+  Metrics metrics;
+  HistogramMetric& fast =
+      metrics.histogram("rpc_seconds{proto=\"binary\"}", "latency", 0.0, 2.0,
+                        2);
+  HistogramMetric& slow =
+      metrics.histogram("rpc_seconds{proto=\"text\"}", "latency", 0.0, 2.0, 2);
+  fast.observe(0.5);
+  slow.observe(1.5);
+  slow.observe(0.25);
+
+  const std::string text = metrics.to_prometheus();
+  // One family header; per-series buckets carry the user labels with le
+  // merged after them, and sum/count keep the labels without le.
+  EXPECT_NE(text.find("# TYPE rpc_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("rpc_seconds_bucket{proto=\"binary\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_seconds_bucket{proto=\"binary\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_seconds_bucket{proto=\"text\",le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_seconds_sum{proto=\"binary\"} 0.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_seconds_count{proto=\"text\"} 2\n"),
+            std::string::npos);
+  // The bare-family spellings must not appear for labeled series.
+  EXPECT_EQ(text.find("rpc_seconds_sum "), std::string::npos);
+  EXPECT_EQ(text.find("rpc_seconds_bucket{le="), std::string::npos);
 }
 
 TEST(Metrics, PrometheusTextFormat) {

@@ -52,5 +52,97 @@ TEST(Pricing, GermanyTariffRoughlyDoubleUs) {
   EXPECT_NEAR(kGermanyTariffUsdPerKwh / kUsTariffUsdPerKwh, 1.92, 0.02);
 }
 
+TEST(Pricing, TouRateAtRespectsPeakWindow) {
+  TouRateSchedule tou;
+  tou.offpeak_usd_per_kwh = 0.10;
+  tou.peak_usd_per_kwh = 0.25;
+  tou.peak_start_hour = 17.0;
+  tou.peak_end_hour = 21.0;
+  tou.seconds_per_hour = 10.0;  // compressed day: 240 s.
+  EXPECT_DOUBLE_EQ(tou.rate_at(0.0), 0.10);
+  EXPECT_DOUBLE_EQ(tou.rate_at(170.0), 0.25);   // 17:00 inclusive.
+  EXPECT_DOUBLE_EQ(tou.rate_at(209.99), 0.25);
+  EXPECT_DOUBLE_EQ(tou.rate_at(210.0), 0.10);   // 21:00 exclusive.
+  EXPECT_DOUBLE_EQ(tou.rate_at(240.0 + 180.0), 0.25);  // next day's peak.
+  EXPECT_FALSE(tou.is_flat());
+}
+
+TEST(Pricing, TouWrapMidnightPeak) {
+  TouRateSchedule tou;
+  tou.offpeak_usd_per_kwh = 0.10;
+  tou.peak_usd_per_kwh = 0.30;
+  tou.peak_start_hour = 22.0;
+  tou.peak_end_hour = 2.0;  // wraps midnight.
+  tou.seconds_per_hour = 1.0;
+  EXPECT_DOUBLE_EQ(tou.rate_at(23.0), 0.30);
+  EXPECT_DOUBLE_EQ(tou.rate_at(1.0), 0.30);
+  EXPECT_DOUBLE_EQ(tou.rate_at(2.0), 0.10);
+  EXPECT_DOUBLE_EQ(tou.rate_at(12.0), 0.10);
+}
+
+TEST(Pricing, TouSegmentsCoverWindowAndAlternate) {
+  TouRateSchedule tou;
+  tou.offpeak_usd_per_kwh = 0.10;
+  tou.peak_usd_per_kwh = 0.25;
+  tou.seconds_per_hour = 10.0;  // peak is [170, 210) each 240 s day.
+  const auto segments = tou_segments(tou, 100.0, 500.0);
+  // off [100,170) peak [170,210) off [210,410) peak [410,450) off [450,500).
+  ASSERT_EQ(segments.size(), 5u);
+  EXPECT_DOUBLE_EQ(segments[0].t0, 100.0);
+  EXPECT_DOUBLE_EQ(segments[0].t1, 170.0);
+  EXPECT_DOUBLE_EQ(segments[0].usd_per_kwh, 0.10);
+  EXPECT_DOUBLE_EQ(segments[1].t1, 210.0);
+  EXPECT_DOUBLE_EQ(segments[1].usd_per_kwh, 0.25);
+  EXPECT_DOUBLE_EQ(segments[2].t1, 410.0);
+  EXPECT_DOUBLE_EQ(segments[2].usd_per_kwh, 0.10);
+  EXPECT_DOUBLE_EQ(segments[3].t1, 450.0);
+  EXPECT_DOUBLE_EQ(segments[3].usd_per_kwh, 0.25);
+  EXPECT_DOUBLE_EQ(segments[4].t1, 500.0);
+  EXPECT_DOUBLE_EQ(segments[4].usd_per_kwh, 0.10);
+  // Segments tile the window with no gaps.
+  for (std::size_t i = 1; i < segments.size(); ++i)
+    EXPECT_DOUBLE_EQ(segments[i].t0, segments[i - 1].t1);
+}
+
+TEST(Pricing, TouFlatScheduleIsOneSegment) {
+  TouRateSchedule flat;  // defaults: both rates at the US tariff.
+  EXPECT_TRUE(flat.is_flat());
+  const auto segments = tou_segments(flat, 0.0, 1e6);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].usd_per_kwh, kUsTariffUsdPerKwh);
+}
+
+TEST(Pricing, TouCostMatchesHandComputation) {
+  TouRateSchedule tou;
+  tou.offpeak_usd_per_kwh = 0.10;
+  tou.peak_usd_per_kwh = 0.25;
+  tou.seconds_per_hour = 10.0;
+  // 3.6e6 J at constant power over [160, 220): 60 s total, of which
+  // [170, 210) = 40 s are peak. 1 kWh total => (20/60)*0.10 + (40/60)*0.25.
+  const double cost = tou_cost_usd(tou, 160.0, 220.0, 3.6e6);
+  EXPECT_NEAR(cost, (20.0 / 60.0) * 0.10 + (40.0 / 60.0) * 0.25, 1e-12);
+  // Fully off-peak window bills at the off-peak rate.
+  EXPECT_NEAR(tou_cost_usd(tou, 0.0, 100.0, 3.6e6), 0.10, 1e-12);
+  // Zero-length window: billed at the instantaneous rate.
+  EXPECT_NEAR(tou_cost_usd(tou, 180.0, 180.0, 3.6e6), 0.25, 1e-12);
+}
+
+TEST(Pricing, TouValidationRejectsBadSchedules) {
+  TouRateSchedule bad;
+  bad.offpeak_usd_per_kwh = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = TouRateSchedule{};
+  bad.peak_start_hour = 24.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = TouRateSchedule{};
+  bad.seconds_per_hour = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = TouRateSchedule{};
+  bad.peak_end_hour = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_THROW(tou_segments(TouRateSchedule{}, 10.0, 5.0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace vmp::core

@@ -1,0 +1,402 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/query.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/transport.hpp"
+
+namespace vmp::serve {
+namespace {
+
+Snapshot synthetic_at(double t) {
+  Snapshot snapshot;
+  snapshot.tick = static_cast<std::uint64_t>(t);
+  snapshot.time_s = t;
+  snapshot.vms = {{0, 1, 1, t, 10.0 * t}, {1, 4, 2, 2.0 * t, 20.0 * t}};
+  snapshot.tenants = {{1, t, 100.0 * t}, {2, 2.0 * t, 200.0 * t}};
+  snapshot.total_power_w = 3.0 * t;
+  snapshot.total_energy_j = 300.0 * t;
+  return snapshot;
+}
+
+Request make_request(QueryKind kind) {
+  Request request;
+  request.kind = kind;
+  request.host = 7;
+  request.vm = 11;
+  request.tenant = 3;
+  request.t0 = 1.5;
+  request.t1 = 0x1.fffffffffffffp+9;  // bit-pattern survival matters.
+  return request;
+}
+
+// --- binary codec -----------------------------------------------------------
+
+TEST(ProtocolCodec, BinaryRequestsRoundTripEveryKind) {
+  for (const QueryKind kind :
+       {QueryKind::kVmPower, QueryKind::kTenantPower, QueryKind::kFleetPower,
+        QueryKind::kVmEnergy, QueryKind::kTenantEnergy, QueryKind::kTenantCost,
+        QueryKind::kStats}) {
+    const Request request = make_request(kind);
+    const auto decoded = decode_request(encode_request(request));
+    ASSERT_TRUE(decoded.has_value()) << to_string(kind);
+    EXPECT_EQ(decoded->kind, request.kind);
+    EXPECT_EQ(decoded->canonical(), request.canonical());
+  }
+}
+
+TEST(ProtocolCodec, BinaryDecodeRejectsMalformedBodies) {
+  EXPECT_FALSE(decode_request("").has_value());
+  EXPECT_FALSE(decode_request(std::string(1, '\x63')).has_value());  // opcode.
+  // Truncated operands: vm-power needs two u32s.
+  std::string body = encode_request(make_request(QueryKind::kVmPower));
+  EXPECT_FALSE(decode_request(body.substr(0, body.size() - 1)).has_value());
+  // Trailing bytes after a complete operand layout are an error, not slack.
+  EXPECT_FALSE(decode_request(body + '\0').has_value());
+  // Window bounds must be finite.
+  Request nan_window = make_request(QueryKind::kVmEnergy);
+  nan_window.t0 = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(decode_request(encode_request(nan_window)).has_value());
+}
+
+TEST(ProtocolCodec, BinaryResponsesRoundTrip) {
+  const Response ok = Response::success(42, {1.0, -2.5, 1e-300});
+  const auto ok_decoded = decode_response(encode_response(ok));
+  ASSERT_TRUE(ok_decoded.has_value());
+  EXPECT_TRUE(ok_decoded->ok);
+  EXPECT_EQ(ok_decoded->epoch, 42u);
+  EXPECT_EQ(ok_decoded->values, ok.values);
+
+  const Response error =
+      Response::error(ErrorCode::kOutOfRetention, "window too old");
+  const auto error_decoded = decode_response(encode_response(error));
+  ASSERT_TRUE(error_decoded.has_value());
+  EXPECT_FALSE(error_decoded->ok);
+  EXPECT_EQ(error_decoded->code, ErrorCode::kOutOfRetention);
+  EXPECT_EQ(error_decoded->message, "window too old");
+  EXPECT_FALSE(decode_response("").has_value());
+}
+
+TEST(ProtocolCodec, FramePrefixIsBigEndianLength) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), kFramePrefixBytes + 3);
+  EXPECT_EQ(frame[0], 0);
+  EXPECT_EQ(frame[1], 0);
+  EXPECT_EQ(frame[2], 0);
+  EXPECT_EQ(frame[3], 3);
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+// --- text codec -------------------------------------------------------------
+
+TEST(ProtocolCodec, TextRequestsRoundTripAndMatchCanonicalForm) {
+  for (const QueryKind kind :
+       {QueryKind::kVmPower, QueryKind::kTenantPower, QueryKind::kFleetPower,
+        QueryKind::kVmEnergy, QueryKind::kTenantEnergy, QueryKind::kTenantCost,
+        QueryKind::kStats}) {
+    const Request request = make_request(kind);
+    const std::string line = format_request_text(request);
+    const auto parsed = parse_request_text(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(parsed->canonical(), request.canonical());
+  }
+  // Whitespace is flexible; verbs are not.
+  EXPECT_TRUE(parse_request_text("  fleet-power  ").has_value());
+  EXPECT_FALSE(parse_request_text("fleet-pwr").has_value());
+  EXPECT_FALSE(parse_request_text("").has_value());
+  EXPECT_FALSE(parse_request_text("vm-power 0").has_value());     // arity.
+  EXPECT_FALSE(parse_request_text("vm-power 0 1 2").has_value());
+  EXPECT_FALSE(parse_request_text("vm-power x y").has_value());
+  EXPECT_FALSE(parse_request_text("vm-energy 0 1 0 inf").has_value());
+}
+
+TEST(ProtocolCodec, TextResponsesRoundTripDoublesExactly) {
+  const double awkward = 0.1 + 0.2;  // not representable as a short decimal.
+  const std::string line =
+      format_response_text(Response::success(9, {awkward}));
+  EXPECT_EQ(line.rfind("OK 9 ", 0), 0u);
+  EXPECT_EQ(std::stod(line.substr(5)), awkward);  // %.17g round-trips.
+  EXPECT_EQ(format_response_text(
+                Response::error(ErrorCode::kThrottled, "slow down")),
+            "ERR 8 slow down");
+}
+
+// --- shared dispatch path ---------------------------------------------------
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() {
+    for (int t = 1; t <= 24; ++t) store_.publish(synthetic_at(t));
+  }
+
+  SnapshotStore store_{64};
+  fleet::Metrics metrics_;
+  QueryEngine engine_{store_, {1024, {}, &metrics_}};
+};
+
+TEST_F(TransportTest, InProcessRejectsBadFramesWithoutThrowing) {
+  InProcessTransport transport(engine_, &metrics_);
+
+  const auto error_of = [](const std::string& frame) {
+    const auto response =
+        decode_response(std::string_view(frame).substr(kFramePrefixBytes));
+    EXPECT_TRUE(response.has_value());
+    EXPECT_FALSE(response->ok);
+    return response->code;
+  };
+
+  EXPECT_EQ(error_of(transport.roundtrip_binary("ab")), ErrorCode::kMalformed);
+  // Declared length exceeding the limit is rejected before any body read.
+  std::string oversized = {'\x7f', '\x00', '\x00', '\x00'};
+  EXPECT_EQ(error_of(transport.roundtrip_binary(oversized)),
+            ErrorCode::kFrameTooLarge);
+  // Prefix promising more bytes than supplied.
+  EXPECT_EQ(error_of(transport.roundtrip_binary(encode_frame("xy") + "junk")),
+            ErrorCode::kMalformed);
+  // Garbage body of the right shape decodes to no known opcode.
+  EXPECT_EQ(error_of(transport.roundtrip_binary(encode_frame("\xee\xff"))),
+            ErrorCode::kMalformed);
+  EXPECT_EQ(transport.roundtrip_text("gibberish"),
+            "ERR 1 unparseable request");
+
+  const std::string dump = metrics_.to_prometheus();
+  EXPECT_NE(dump.find("vmpower_serve_protocol_errors_total"),
+            std::string::npos);
+}
+
+TEST_F(TransportTest, DispatcherExportsLabeledLatencyHistograms) {
+  InProcessTransport transport(engine_, &metrics_);
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  ASSERT_TRUE(transport.query(request).ok);
+  (void)transport.roundtrip_text("fleet-power");
+
+  const std::string dump = metrics_.to_prometheus();
+  EXPECT_NE(dump.find("vmpower_serve_requests_total{proto=\"binary\","
+                      "kind=\"fleet-power\"} 1"),
+            std::string::npos);
+  EXPECT_NE(dump.find("vmpower_serve_requests_total{proto=\"text\","
+                      "kind=\"fleet-power\"} 1"),
+            std::string::npos);
+  // Labeled histograms merge le into the existing label set (satellite:
+  // the old exporter restriction is gone).
+  EXPECT_NE(dump.find(
+                "vmpower_serve_request_latency_seconds_bucket{proto=\"binary\","
+                "le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      dump.find("vmpower_serve_request_latency_seconds_count{proto=\"text\"} 1"),
+      std::string::npos);
+}
+
+// --- TCP end to end ---------------------------------------------------------
+
+class ServerTest : public TransportTest {
+ protected:
+  ServerOptions quick_options() const {
+    ServerOptions options;
+    options.workers = 2;
+    options.queue_capacity = 16;
+    return options;
+  }
+};
+
+TEST_F(ServerTest, AnswersPointWindowAndCostQueriesOverTcp) {
+  Server server(engine_, metrics_, quick_options());
+  Client client(server.port());
+
+  Request point;
+  point.kind = QueryKind::kVmPower;
+  point.host = 1;
+  point.vm = 4;
+  Response response = client.query(point);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.epoch, 24u);
+  EXPECT_DOUBLE_EQ(response.values.at(0), 48.0);
+
+  Request window;
+  window.kind = QueryKind::kTenantEnergy;
+  window.tenant = 2;
+  window.t0 = 6.0;
+  window.t1 = 18.0;
+  response = client.query(window);
+  ASSERT_TRUE(response.ok);
+  EXPECT_DOUBLE_EQ(response.values.at(0), 2400.0);
+
+  window.kind = QueryKind::kTenantCost;
+  response = client.query(window);
+  ASSERT_TRUE(response.ok);
+  ASSERT_EQ(response.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(response.values.at(1), 2400.0);
+
+  // A second, text-mode connection against the same server.
+  Client text_client(server.port());
+  EXPECT_EQ(text_client.query_text("fleet-power"), "OK 24 72");
+  EXPECT_EQ(text_client.query_text("tenant-power 9"), "ERR 4 unknown tenant 9");
+  server.stop();
+}
+
+TEST_F(ServerTest, TcpAndInProcessResponsesAreByteIdentical) {
+  Server server(engine_, metrics_, quick_options());
+  // A separate uncached engine would re-evaluate; byte identity must hold
+  // through the cache too, so use the server's own engine in process.
+  InProcessTransport in_process(engine_, &metrics_);
+  Client client(server.port());
+  Client text_client(server.port());
+
+  std::vector<std::string> lines = {
+      "stats",           "fleet-power",          "vm-power 0 1",
+      "tenant-power 2",  "vm-energy 0 1 2 10",   "tenant-energy 1 0 24",
+      "tenant-cost 2 6 18", "tenant-power 777",  "vm-power 9 9",
+  };
+  for (const std::string& line : lines) {
+    SCOPED_TRACE(line);
+    // Text path: the TCP response line equals the in-process line.
+    EXPECT_EQ(text_client.query_text(line), in_process.roundtrip_text(line));
+    // Binary path: encoded response bodies are byte-identical.
+    const auto request = parse_request_text(line);
+    ASSERT_TRUE(request.has_value());
+    client.send_raw(encode_frame(encode_request(*request)));
+    const std::string tcp_frame = client.recv_frame();
+    EXPECT_EQ(tcp_frame,
+              in_process.roundtrip_binary(
+                  encode_frame(encode_request(*request))));
+  }
+  server.stop();
+}
+
+TEST_F(ServerTest, GarbageAndTruncatedFramesNeverCrashTheServer) {
+  Server server(engine_, metrics_, quick_options());
+
+  {  // Oversized declared length (prefix first byte stays < 0x20 so the
+    // sniffer sees binary): explicit error, connection dropped.
+    Client client(server.port());
+    client.send_raw(std::string{'\x00', '\x11', '\x00', '\x00'});
+    const auto response = decode_response(
+        std::string_view(client.recv_frame()).substr(kFramePrefixBytes));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->code, ErrorCode::kFrameTooLarge);
+  }
+  {  // Garbage binary body: protocol error response, connection lives on.
+    Client client(server.port());
+    client.send_raw(encode_frame(std::string("\x19\xff\xff", 3)));
+    const auto response = decode_response(
+        std::string_view(client.recv_frame()).substr(kFramePrefixBytes));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->code, ErrorCode::kMalformed);
+    // Same connection still answers a well-formed request.
+    Request request;
+    request.kind = QueryKind::kFleetPower;
+    EXPECT_TRUE(client.query(request).ok);
+  }
+  {  // Mid-request disconnect: frame promises 12 bytes, client sends 2 and
+    // hangs up. The server must just drop the connection.
+    Client client(server.port());
+    client.send_raw(encode_frame("full body").substr(0, 6));
+    client.shutdown_write();
+  }
+  {  // Text line over the limit.
+    Client client(server.port());
+    client.send_raw(std::string(2 * kMaxLineBytes, 'a'));
+    EXPECT_EQ(client.recv_line(), "ERR 1 line exceeds 1 KiB limit");
+  }
+  {  // Abrupt close with no bytes at all.
+    Client client(server.port());
+  }
+
+  // After all of the above the server still serves.
+  Client client(server.port());
+  EXPECT_EQ(client.query_text("fleet-power"), "OK 24 72");
+  server.stop();
+}
+
+TEST_F(ServerTest, TokenBucketShedsAndCountsThrottledRequests) {
+  ServerOptions options = quick_options();
+  options.tokens_per_s = 0.0;  // no refill: exactly `burst` admissions.
+  options.token_burst = 3.0;
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+
+  int ok = 0, throttled = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::string line = client.query_text("fleet-power");
+    if (line.rfind("OK", 0) == 0)
+      ++ok;
+    else if (line == "ERR 8 client exceeded its request rate")
+      ++throttled;
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(throttled, 7);
+  // Sheds are per-connection: a fresh client gets a fresh bucket.
+  Client fresh(server.port());
+  EXPECT_EQ(fresh.query_text("stats").rfind("OK", 0), 0u);
+  EXPECT_NE(metrics_.to_prometheus().find(
+                "vmpower_serve_shed_total{reason=\"throttle\"} 7"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, FullQueueShedsWithOverloadedError) {
+  ServerOptions options = quick_options();
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.worker_delay = std::chrono::milliseconds(40);
+  Server server(engine_, metrics_, options);
+
+  // Burst unframed pipelined requests on one connection: worker is stalled,
+  // so at most (1 in flight + 1 queued) are admitted per round.
+  Client client(server.port());
+  constexpr int kBurst = 8;
+  const std::string frame =
+      encode_frame(encode_request([] {
+        Request request;
+        request.kind = QueryKind::kStats;
+        return request;
+      }()));
+  std::string pipelined;
+  for (int i = 0; i < kBurst; ++i) pipelined += frame;
+  client.send_raw(pipelined);
+
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto response = decode_response(
+        std::string_view(client.recv_frame()).substr(kFramePrefixBytes));
+    ASSERT_TRUE(response.has_value());
+    if (response->ok)
+      ++ok;
+    else if (response->code == ErrorCode::kOverloaded)
+      ++overloaded;
+  }
+  EXPECT_GT(overloaded, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(ok + overloaded, kBurst);
+  EXPECT_NE(metrics_.to_prometheus().find(
+                "vmpower_serve_shed_total{reason=\"queue\"}"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, ServerOptionsValidation) {
+  ServerOptions bad;
+  bad.workers = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ServerOptions{};
+  bad.queue_capacity = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ServerOptions{};
+  bad.token_burst = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmp::serve

@@ -26,12 +26,24 @@
 //       and checkpoint/resume (see the "Fleet metering service" README
 //       section).
 //
+//   vmpower serve --fleet VM1,VM2 --hosts 4 --duration 300 --port 7077
+//       run the fleet engine with a snapshot store attached and answer
+//       point/window/cost queries over loopback TCP while it meters (and for
+//       --linger further seconds afterwards); see the "Query service" README
+//       section for the protocol.
+//
+//   vmpower query --port 7077 tenant-energy 1 0 120
+//       send one query (binary protocol; --proto text for the line
+//       protocol) and print the response line.
+//
 // Fleet syntax: comma-separated Table IV type names (VM1..VM4). The machine
 // is the calibrated Xeon prototype (--machine pentium for the desktop).
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/units.hpp"
 #include "common/vm_config.hpp"
@@ -39,7 +51,12 @@
 #include "core/collector.hpp"
 #include "core/estimator.hpp"
 #include "core/serialization.hpp"
+#include "core/pricing.hpp"
 #include "fleet/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/query.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
 #include "sim/physical_machine.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -62,6 +79,15 @@ commands:
           [--inject-faults meter:P,dropout:P,stale:P] [--max-retries N]
           [--backpressure block|drop-oldest] [--queue-capacity N]
           [--checkpoint FILE] [--metrics FILE]
+  serve   --fleet VM1,... [--hosts N] [--threads T] [--duration S] [--tenants K]
+          [--port P] [--workers W] [--linger S] [--retention N]
+          [--request-queue N] [--tokens-per-s R] [--burst B]
+          [--offpeak-rate $/kWh] [--peak-rate $/kWh] [--peak-hours H0-H1]
+          [--seconds-per-hour S] [--seed N] [--collect-duration S]
+          [--metrics FILE]
+  query   --port P [--proto binary|text] <verb> [args...]
+          verbs: vm-power H V | tenant-power T | fleet-power | stats
+                 vm-energy H V T0 T1 | tenant-energy T T0 T1 | tenant-cost T T0 T1
 )";
 
 sim::MachineSpec machine_for(const util::CliArgs& args) {
@@ -292,6 +318,118 @@ int cmd_fleet(const util::CliArgs& args) {
   return 0;
 }
 
+core::TouRateSchedule tou_for(const util::CliArgs& args) {
+  core::TouRateSchedule tou;
+  tou.offpeak_usd_per_kwh = args.get_double("offpeak-rate", 0.10);
+  tou.peak_usd_per_kwh =
+      args.get_double("peak-rate", tou.offpeak_usd_per_kwh);
+  tou.seconds_per_hour = args.get_double("seconds-per-hour", 3600.0);
+  const std::string hours = args.get("peak-hours", "17-21");
+  const auto dash = hours.find('-');
+  if (dash == std::string::npos)
+    throw std::invalid_argument("--peak-hours expects H0-H1, e.g. 17-21");
+  tou.peak_start_hour = std::stod(hours.substr(0, dash));
+  tou.peak_end_hour = std::stod(hours.substr(dash + 1));
+  tou.validate();
+  return tou;
+}
+
+int cmd_serve(const util::CliArgs& args) {
+  fleet::FleetOptions options;
+  options.fleet_per_host = fleet_for(args);
+  options.hosts = static_cast<std::size_t>(args.get_long("hosts", 4));
+  options.threads = static_cast<std::size_t>(args.get_long("threads", 2));
+  options.tenants = static_cast<std::size_t>(args.get_long("tenants", 3));
+  options.spec = machine_for(args);
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  options.validate();
+
+  serve::QueryEngineOptions query_options;
+  query_options.tou = tou_for(args);
+
+  serve::ServerOptions server_options;
+  server_options.port =
+      static_cast<std::uint16_t>(args.get_long("port", 7077));
+  server_options.workers =
+      static_cast<std::size_t>(args.get_long("workers", 2));
+  server_options.queue_capacity =
+      static_cast<std::size_t>(args.get_long("request-queue", 64));
+  server_options.tokens_per_s = args.get_double("tokens-per-s", 10000.0);
+  server_options.token_burst = args.get_double("burst", 1000.0);
+  server_options.validate();
+
+  core::CollectionOptions collect;
+  collect.duration_s = args.get_double("collect-duration", 120.0);
+  collect.seed = options.seed;
+  std::printf("offline: training the shared host profile (%.0f s)...\n",
+              collect.duration_s);
+  const auto dataset = core::collect_offline_dataset(
+      options.spec, options.fleet_per_host, collect);
+
+  fleet::FleetEngine engine(options, dataset);
+  serve::SnapshotStore store(
+      static_cast<std::size_t>(args.get_long("retention", 4096)));
+  store.attach(engine);
+  query_options.metrics = &engine.metrics();
+  serve::QueryEngine queries(store, query_options);
+  serve::Server server(queries, engine.metrics(), server_options);
+
+  const auto ticks =
+      static_cast<std::uint64_t>(args.get_double("duration", 300.0));
+  std::printf("serving on 127.0.0.1:%u while metering %zu hosts for %llu "
+              "ticks...\n",
+              server.port(), options.hosts,
+              static_cast<unsigned long long>(ticks));
+  engine.run(ticks);
+
+  const double linger = args.get_double("linger", 0.0);
+  if (linger > 0.0) {
+    std::printf("metering done; serving for %.0f more seconds\n", linger);
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger));
+  }
+
+  std::printf("queries: cache hits %llu misses %llu | snapshots %llu\n",
+              static_cast<unsigned long long>(queries.cache_hits()),
+              static_cast<unsigned long long>(queries.cache_misses()),
+              static_cast<unsigned long long>(store.published()));
+  if (args.has("metrics")) {
+    const std::string metrics_path = args.require("metrics");
+    engine.metrics().write_prometheus(metrics_path);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  server.stop();
+  return 0;
+}
+
+int cmd_query(const util::CliArgs& args) {
+  const auto port =
+      static_cast<std::uint16_t>(std::stoul(args.require("port")));
+  const auto& positionals = args.positionals();
+  std::string line;
+  for (std::size_t i = 1; i < positionals.size(); ++i) {
+    if (i > 1) line += ' ';
+    line += positionals[i];
+  }
+  if (line.empty())
+    throw std::invalid_argument("query: missing query (try: stats)");
+
+  const std::string proto = args.get("proto", "binary");
+  if (proto != "binary" && proto != "text")
+    throw std::invalid_argument("query: --proto must be binary or text");
+  serve::Client client(port);
+  std::string response;
+  if (proto == "text") {
+    response = client.query_text(line);
+  } else {
+    const auto request = serve::parse_request_text(line);
+    if (!request)
+      throw std::invalid_argument("query: unparseable query '" + line + "'");
+    response = serve::format_response_text(client.query(*request));
+  }
+  std::printf("%s\n", response.c_str());
+  return 0;
+}
+
 int cmd_info(const util::CliArgs& args) {
   const auto approx = core::load_approximation(args.require("approx"));
   std::printf("VHC linear approximation: %zu VHCs, %zu fitted combinations\n",
@@ -319,6 +457,8 @@ int main(int argc, char** argv) {
     if (command == "bill") return cmd_meter(args, /*billing=*/true);
     if (command == "info") return cmd_info(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
     std::fputs(kUsage, command.empty() ? stdout : stderr);
     return command.empty() ? 0 : 2;
   } catch (const std::exception& error) {
