@@ -8,8 +8,18 @@
 // advance + meter read + Shapley estimate + ledger roll-up) for one host.
 // Thread counts beyond the hardware's cores measure oversubscription, not
 // speedup; the table prints the detected core count for context.
+//
+// The second grid packs 8 VMs of three types onto each host — the shape the
+// symmetry-collapsed estimator kernel is built for (duplicated VM types keep
+// the per-tick game at compositions, not 2^8 masks).
+//
+// Pass --quick for the CI smoke configuration: a trimmed grid and tick count
+// that finishes in seconds while still exercising every code path.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -38,37 +48,67 @@ double run_once(const core::OfflineDataset& dataset,
       .count();
 }
 
-}  // namespace
-
-int main() {
-  const std::vector<common::VmConfig> fleet = {common::paper_vm_type(1),
-                                               common::paper_vm_type(2)};
-  core::CollectionOptions collect;
-  collect.duration_s = 60.0;
-  const auto dataset =
-      core::collect_offline_dataset(sim::xeon_prototype(), fleet, collect);
-
-  constexpr std::uint64_t kTicks = 200;
-  const std::size_t host_counts[] = {2, 4, 8, 16};
-  const std::size_t thread_counts[] = {1, 2, 4};
-
-  util::print_banner("fleet engine scaling (200 ticks, 2 VMs/host)");
+void run_grid(const char* banner, const core::OfflineDataset& dataset,
+              const std::vector<common::VmConfig>& fleet,
+              std::span<const std::size_t> host_counts,
+              std::span<const std::size_t> thread_counts,
+              std::uint64_t ticks) {
+  util::print_banner(banner);
   std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
   util::TablePrinter table(
       {"hosts", "threads", "wall (ms)", "host-ticks/s", "speedup vs 1T"});
   for (const std::size_t hosts : host_counts) {
     double serial_wall = 0.0;
     for (const std::size_t threads : thread_counts) {
-      const double wall = run_once(dataset, fleet, hosts, threads, kTicks);
-      if (threads == 1) serial_wall = wall;
+      const double wall = run_once(dataset, fleet, hosts, threads, ticks);
+      if (threads == thread_counts.front()) serial_wall = wall;
       table.add_row({std::to_string(hosts), std::to_string(threads),
                      util::TablePrinter::num(wall * 1e3, 1),
                      util::TablePrinter::num(
-                         static_cast<double>(hosts * kTicks) / wall, 0),
+                         static_cast<double>(hosts * ticks) / wall, 0),
                      util::TablePrinter::num(serial_wall / wall, 2)});
     }
   }
   table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  const std::vector<common::VmConfig> small_fleet = {common::paper_vm_type(1),
+                                                     common::paper_vm_type(2)};
+  // 4xVM1 + 2xVM2 + 2xVM3: the duplicated types land on the estimator's
+  // symmetry-collapsed path whenever the duplicates report equal states.
+  std::vector<common::VmConfig> mixed_fleet;
+  for (int k = 0; k < 4; ++k) mixed_fleet.push_back(common::paper_vm_type(1));
+  for (int k = 0; k < 2; ++k) mixed_fleet.push_back(common::paper_vm_type(2));
+  for (int k = 0; k < 2; ++k) mixed_fleet.push_back(common::paper_vm_type(3));
+
+  core::CollectionOptions collect;
+  collect.duration_s = quick ? 20.0 : 60.0;
+  const auto small_dataset =
+      core::collect_offline_dataset(sim::xeon_prototype(), small_fleet,
+                                    collect);
+  const auto mixed_dataset =
+      core::collect_offline_dataset(sim::xeon_prototype(), mixed_fleet,
+                                    collect);
+
+  const std::uint64_t ticks = quick ? 20 : 200;
+  const std::vector<std::size_t> host_counts =
+      quick ? std::vector<std::size_t>{2, 4} : std::vector<std::size_t>{2, 4, 8, 16};
+  const std::vector<std::size_t> thread_counts =
+      quick ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4};
+
+  const std::string ticks_label = std::to_string(ticks);
+  run_grid(("fleet engine scaling (" + ticks_label + " ticks, 2 VMs/host)")
+               .c_str(),
+           small_dataset, small_fleet, host_counts, thread_counts, ticks);
+  run_grid(("fleet engine scaling (" + ticks_label +
+            " ticks, 8 mixed VMs/host: 4xVM1+2xVM2+2xVM3)")
+               .c_str(),
+           mixed_dataset, mixed_fleet, host_counts, thread_counts, ticks);
   std::printf("determinism contract: the tenant ledgers of every cell in one "
               "hosts row are byte-identical (see test_fleet).\n");
   return 0;

@@ -8,11 +8,19 @@
 // is only 2^r.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <vector>
 
+#include "common/state_vector.hpp"
+#include "core/estimator.hpp"
+#include "core/linear_approx.hpp"
 #include "core/monte_carlo.hpp"
 #include "core/shapley.hpp"
+#include "core/shapley_fast.hpp"
+#include "core/vhc.hpp"
+#include "core/vsc_table.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -63,6 +71,111 @@ void BM_MonteCarloShapley(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloShapley)
     ->ArgsProduct({{8, 16, 24}, {100, 400}});
+
+// --- fast kernels ------------------------------------------------------------
+//
+// The three accelerations from the metering hot path: symmetry-collapsed
+// enumeration (compositions instead of masks when VMs duplicate), the
+// thread-parallel mask sweep with deterministic reduction, and the
+// estimator-level tick that stacks both on the batched worth evaluator.
+
+vmp::core::SymmetryGroups make_groups(std::size_t n, std::size_t n_groups) {
+  vmp::core::SymmetryGroups groups;
+  groups.group_of.resize(n);
+  groups.members.resize(n_groups);
+  for (std::size_t i = 0; i < n; ++i) {
+    groups.group_of[i] = i % n_groups;
+    groups.members[i % n_groups].push_back(static_cast<vmp::core::Player>(i));
+  }
+  return groups;
+}
+
+void BM_CollapsedShapley(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto types = static_cast<std::size_t>(state.range(1));
+  const auto groups = make_groups(n, types);
+  // Same game law as BM_ExactShapley, restated over groups so it is
+  // symmetric within each: standalone sum with 3 % pairwise contention.
+  vmp::util::Rng rng(42);
+  std::vector<double> standalone(types);
+  for (double& w : standalone) w = rng.uniform(5.0, 15.0);
+  const WorthFn v = [&](Coalition s) {
+    double sum = 0.0;
+    int members = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (s.contains(static_cast<vmp::core::Player>(i))) {
+        sum += standalone[groups.group_of[i]];
+        ++members;
+      }
+    return members == 0 ? 0.0 : sum * (1.0 - 0.03 * (members - 1));
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vmp::core::shapley_values_grouped(groups, v));
+  }
+}
+BENCHMARK(BM_CollapsedShapley)
+    ->ArgsProduct({{8, 12, 16}, {2, 4}})
+    ->ArgNames({"n", "types"});
+
+void BM_ParallelShapley(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto table = make_game_table(n, 42);
+  const WorthFn v = [&](Coalition s) { return table[s.mask()]; };
+  vmp::util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vmp::core::shapley_values_parallel(n, v, pool));
+  }
+}
+BENCHMARK(BM_ParallelShapley)
+    ->ArgsProduct({{16, 20}, {2, 4}})
+    ->ArgNames({"n", "threads"});
+
+void BM_EstimatorTick(benchmark::State& state) {
+  // One full ShapleyVhcEstimator::estimate() call — the per-tick cost every
+  // host agent pays. sym=1 duplicates states within each of the 4 VM types,
+  // so the estimator takes the collapsed path; sym=0 forces distinct states
+  // and times the batched mask sweep.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool symmetric = state.range(1) != 0;
+  constexpr std::size_t kTypes = 4;
+
+  vmp::util::Rng rng(7);
+  vmp::core::VscTable table(kTypes, 0.01);
+  const double law[kTypes] = {9.0, 7.0, 5.0, 3.0};
+  for (vmp::core::VhcComboMask combo = 1; combo < (1u << kTypes); ++combo) {
+    for (int s = 0; s < 120; ++s) {
+      std::vector<vmp::common::StateVector> states(kTypes);
+      double power = 0.0;
+      for (std::size_t j = 0; j < kTypes; ++j) {
+        if (((combo >> j) & 1u) == 0) continue;
+        const double cpu = rng.uniform(0.0, 2.0);
+        states[j] = vmp::common::StateVector::cpu_only(cpu);
+        power += law[j] * cpu;
+      }
+      table.record(combo, states, power);
+    }
+  }
+  const auto approx = vmp::core::VhcLinearApprox::fit(table);
+  const vmp::core::VhcUniverse universe({0, 1, 2, 3});
+
+  std::vector<vmp::core::VmSample> vms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vms[i].vm_id = static_cast<std::uint32_t>(i);
+    vms[i].type = static_cast<vmp::common::VmTypeId>(i % kTypes);
+    vms[i].state = vmp::common::StateVector::cpu_only(
+        symmetric ? 0.2 + 0.15 * static_cast<double>(i % kTypes)
+                  : rng.uniform(0.05, 1.0));
+  }
+
+  vmp::core::ShapleyVhcEstimator estimator(universe, approx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(vms, 50.0));
+  }
+}
+BENCHMARK(BM_EstimatorTick)
+    ->ArgsProduct({{8, 12, 16}, {0, 1}})
+    ->ArgNames({"n", "sym"});
 
 void BM_ShapleyWeights(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

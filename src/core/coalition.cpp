@@ -18,24 +18,6 @@ Coalition Coalition::single(Player i) {
   return Coalition{Mask{1} << i};
 }
 
-std::size_t Coalition::size() const noexcept {
-  return static_cast<std::size_t>(std::popcount(mask_));
-}
-
-bool Coalition::contains(Player i) const noexcept {
-  return i < kMaxPlayers && (mask_ & (Mask{1} << i)) != 0;
-}
-
-Coalition Coalition::with(Player i) const noexcept {
-  if (i >= kMaxPlayers) return *this;
-  return Coalition{mask_ | (Mask{1} << i)};
-}
-
-Coalition Coalition::without(Player i) const noexcept {
-  if (i >= kMaxPlayers) return *this;
-  return Coalition{mask_ & ~(Mask{1} << i)};
-}
-
 std::vector<Player> Coalition::members() const {
   std::vector<Player> out;
   out.reserve(size());

@@ -5,6 +5,8 @@
 // host; we allow up to 30 so scaling benches can sweep beyond that bound.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -33,13 +35,27 @@ class Coalition {
   [[nodiscard]] static Coalition single(Player i);
 
   [[nodiscard]] constexpr Mask mask() const noexcept { return mask_; }
-  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return static_cast<std::size_t>(std::popcount(mask_));
+  }
   [[nodiscard]] constexpr bool is_empty() const noexcept { return mask_ == 0; }
 
-  [[nodiscard]] bool contains(Player i) const noexcept;
+  // contains/with/without sit on the O(2^n · n) Shapley sweep, so they are
+  // branch-free on a pre-validated index: i < kMaxPlayers is the caller's
+  // contract (asserted in debug builds), not a per-call runtime check.
+  [[nodiscard]] constexpr bool contains(Player i) const noexcept {
+    assert(i < kMaxPlayers);
+    return (mask_ & (Mask{1} << i)) != 0;
+  }
   /// S ∪ {i} / S \ {i}.
-  [[nodiscard]] Coalition with(Player i) const noexcept;
-  [[nodiscard]] Coalition without(Player i) const noexcept;
+  [[nodiscard]] constexpr Coalition with(Player i) const noexcept {
+    assert(i < kMaxPlayers);
+    return Coalition{mask_ | (Mask{1} << i)};
+  }
+  [[nodiscard]] constexpr Coalition without(Player i) const noexcept {
+    assert(i < kMaxPlayers);
+    return Coalition{mask_ & static_cast<Mask>(~(Mask{1} << i))};
+  }
   [[nodiscard]] constexpr Coalition united(Coalition other) const noexcept {
     return Coalition{mask_ | other.mask_};
   }

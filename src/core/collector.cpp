@@ -1,5 +1,6 @@
 #include "core/collector.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -71,6 +72,7 @@ OfflineDataset collect_offline_dataset(const sim::MachineSpec& spec,
 
   VhcUniverse universe = VhcUniverse::from_fleet(fleet);
   VscTable table(universe.size(), options.resolution);
+  std::vector<common::StateVector> aggregated(universe.size());
 
   // Traverse the 2^r - 1 non-empty VHC combinations (paper Sec. V-C-1).
   for (VhcComboMask combo = 1; combo < universe.combo_count(); ++combo) {
@@ -98,7 +100,8 @@ OfflineDataset collect_offline_dataset(const sim::MachineSpec& spec,
 
     for (std::size_t k = 0; k < trace.size(); ++k) {
       const sim::DstatRecord& record = trace.states.records()[k];
-      std::vector<common::StateVector> aggregated(universe.size());
+      std::fill(aggregated.begin(), aggregated.end(),
+                common::StateVector::zero());
       for (const sim::VmObservation& obs : record.observations)
         aggregated[universe.index_of(obs.type_id)] += obs.state;
       const double adjusted =

@@ -1,10 +1,17 @@
 #include "core/estimator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace vmp::core {
 
 namespace {
+
+/// Known-miss memo entries are cheap; bound the map anyway so a pathological
+/// state stream cannot grow it without limit (clearing only costs re-probing
+/// the table once per live state).
+constexpr std::size_t kTableMemoLimit = std::size_t{1} << 20;
 
 std::vector<common::StateVector> states_of(std::span<const VmSample> vms) {
   std::vector<common::StateVector> states;
@@ -20,6 +27,10 @@ void require_input(std::span<const VmSample> vms, double adjusted_power_w) {
     throw std::invalid_argument("PowerEstimator: too many VMs");
   if (adjusted_power_w < 0.0)
     throw std::invalid_argument("PowerEstimator: adjusted power must be >= 0");
+}
+
+void append_raw(std::string& out, const void* data, std::size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
 }
 
 }  // namespace
@@ -50,10 +61,273 @@ double ShapleyVhcEstimator::table_hit_rate() const noexcept {
              : 0.0;
 }
 
+VhcComboMask ShapleyVhcEstimator::prepare_tick(std::span<const VmSample> vms) {
+  const std::size_t n = vms.size();
+
+  // The partition survives across ticks: a host's VM type list is stable, so
+  // rebuilding it (and its allocations) every sampling period is pure waste.
+  types_scratch_.clear();
+  for (const VmSample& vm : vms) types_scratch_.push_back(vm.type);
+  if (!partition_.has_value() || types_scratch_ != cached_types_) {
+    partition_.emplace(universe_, types_scratch_);
+    cached_types_ = types_scratch_;
+  }
+
+  states_.resize(n);
+  player_bit_.resize(n);
+  player_vhc_.resize(n);
+  player_key_.resize(n);
+  VhcComboMask full_combo = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    states_[i] = vms[i].state;
+    const std::size_t vhc = partition_->vhc_of(i);
+    player_vhc_[i] = vhc;
+    // Idle members add no power (paper Remark 1): they are dropped from
+    // every coalition's combo/aggregate, and — since the worth then ignores
+    // them entirely — all idle players are mutually symmetric regardless of
+    // type (sentinel key past every real VHC index).
+    const bool idle = states_[i] == common::StateVector::zero();
+    player_bit_[i] = idle ? 0u : (std::uint32_t{1} << vhc);
+    player_key_[i] = idle ? universe_.size() : vhc;
+    full_combo |= player_bit_[i];
+  }
+
+  if (weights_n_ != n) {
+    fill_shapley_weights(n, weights_);
+    weights_n_ = n;
+  }
+  return full_combo;
+}
+
+double ShapleyVhcEstimator::worth_from(
+    VhcComboMask combo, std::span<const common::StateVector> aggregated) {
+  ++worth_queries_;
+  if (table_.has_value()) {
+    // Fig. 8's lookup-first path, memoized across ticks: the table's answer
+    // is a pure function of (combo, quantized aggregate), so identical
+    // quantized states skip the sample scan entirely.
+    memo_key_.clear();
+    append_raw(memo_key_, &combo, sizeof(combo));
+    const double resolution = table_->resolution();
+    for (const auto& state : aggregated) {
+      const common::StateVector q = state.quantized(resolution);
+      const auto values = q.values();
+      append_raw(memo_key_, values.data(), values.size_bytes());
+    }
+    auto it = table_memo_.find(std::string_view{memo_key_});
+    if (it == table_memo_.end()) {
+      if (table_memo_.size() >= kTableMemoLimit) table_memo_.clear();
+      TableOutcome outcome;
+      if (const auto hit = table_->lookup(combo, aggregated)) {
+        outcome.hit = true;
+        outcome.value = *hit;
+      }
+      it = table_memo_.emplace(memo_key_, outcome).first;
+    }
+    if (it->second.hit) {
+      ++table_hits_;
+      return it->second.value;
+    }
+    // Known miss: fall through to the approximation on the exact states.
+  }
+  return combo_weights_.predict(combo, aggregated);
+}
+
 std::vector<double> ShapleyVhcEstimator::estimate(std::span<const VmSample> vms,
                                                   double adjusted_power_w) {
   require_input(vms, adjusted_power_w);
 
+  // bind() is a no-op when already bound; re-binding here (rather than in
+  // the constructors) keeps the cache coherent even if the estimator object
+  // was moved since the last call.
+  combo_weights_.bind(&approx_);
+  if (!combo_weights_.usable()) return estimate_legacy(vms, adjusted_power_w);
+
+  const VhcComboMask full_combo = prepare_tick(vms);
+  detect_symmetry_into(player_key_, states_, groups_);
+
+  // Kernel selection: any repeated (type, state) pair shrinks the
+  // composition space below 2^n, so collapse wins whenever it applies; the
+  // batched sweep covers fully distinguishable fleets.
+  if (groups_.group_count() < vms.size())
+    return estimate_collapsed(adjusted_power_w);
+  return estimate_sweep(adjusted_power_w, full_combo);
+}
+
+std::vector<double> ShapleyVhcEstimator::estimate_collapsed(
+    double adjusted_power_w) {
+  const std::size_t n = groups_.player_count();
+  const std::size_t r = groups_.group_count();
+  const std::size_t num_vhcs = universe_.size();
+
+  // Per-group metadata and mixed-radix strides over compositions
+  // k = (k_0 .. k_{r-1}), k_g <= g_size.
+  gsize_.resize(r);
+  gstride_.resize(r);
+  gvhc_.resize(r);
+  gbit_.resize(r);
+  gstate_.resize(r);
+  std::size_t comps = 1;
+  for (std::size_t g = 0; g < r; ++g) {
+    const Player rep = groups_.members[g].front();
+    gsize_[g] = groups_.members[g].size();
+    gstride_[g] = comps;
+    comps *= gsize_[g] + 1;
+    gvhc_[g] = player_vhc_[rep];
+    gbit_[g] = player_bit_[rep];
+    gstate_[g] = states_[rep];
+  }
+
+  // One worth evaluation per composition — Π (g_size + 1) instead of 2^n.
+  worth_.resize(comps);
+  agg_.resize(num_vhcs);
+  comp_k_.assign(r, 0);
+  for (std::size_t idx = 0; idx < comps; ++idx) {
+    if (anchor_ && idx == comps - 1) {
+      // The full composition is the grand coalition: anchored to the
+      // measurement, never queried (exactly like the mask path).
+      worth_[idx] = adjusted_power_w;
+    } else {
+      VhcComboMask combo = 0;
+      std::fill(agg_.begin(), agg_.end(), common::StateVector::zero());
+      for (std::size_t g = 0; g < r; ++g) {
+        if (comp_k_[g] == 0 || gbit_[g] == 0) continue;
+        combo |= gbit_[g];
+        agg_[gvhc_[g]] += gstate_[g] * static_cast<double>(comp_k_[g]);
+      }
+      worth_[idx] = combo == 0 ? 0.0 : worth_from(combo, agg_);
+    }
+    for (std::size_t g = 0; g < r; ++g) {
+      if (++comp_k_[g] <= gsize_[g]) break;
+      comp_k_[g] = 0;
+    }
+  }
+
+  if (binom_n_ != n) {
+    binom_.assign((n + 1) * (n + 1), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      binom_[i * (n + 1)] = 1.0;
+      for (std::size_t j = 1; j <= i; ++j)
+        binom_[i * (n + 1) + j] = binom_[(i - 1) * (n + 1) + j - 1] +
+                                  (j < i ? binom_[(i - 1) * (n + 1) + j] : 0.0);
+    }
+    binom_n_ = n;
+  }
+  const auto binom = [&](std::size_t a, std::size_t b) {
+    return binom_[a * (n + 1) + b];
+  };
+
+  // Φ_{i in group j} = Σ_k C(g_j−1, k_j) Π_{t≠j} C(g_t, k_t) w(|k|)
+  //                        [V(k+e_j) − V(k)],
+  // with the coefficient factored as [Π_t C(g_t, k_t)] (g_j − k_j) / g_j.
+  phi_group_.assign(r, 0.0);
+  comp_k_.assign(r, 0);
+  for (std::size_t idx = 0; idx < comps; ++idx) {
+    std::size_t s = 0;
+    double prod = 1.0;
+    for (std::size_t g = 0; g < r; ++g) {
+      s += comp_k_[g];
+      prod *= binom(gsize_[g], comp_k_[g]);
+    }
+    if (s < n) {
+      const double w = weights_[s];
+      const double base = worth_[idx];
+      for (std::size_t j = 0; j < r; ++j) {
+        if (comp_k_[j] == gsize_[j]) continue;
+        const double coeff = prod *
+                             static_cast<double>(gsize_[j] - comp_k_[j]) /
+                             static_cast<double>(gsize_[j]);
+        phi_group_[j] += coeff * w * (worth_[idx + gstride_[j]] - base);
+      }
+    }
+    for (std::size_t g = 0; g < r; ++g) {
+      if (++comp_k_[g] <= gsize_[g]) break;
+      comp_k_[g] = 0;
+    }
+  }
+
+  std::vector<double> phi(n, 0.0);
+  for (std::size_t j = 0; j < r; ++j)
+    for (const Player p : groups_.members[j]) phi[p] = phi_group_[j];
+  return phi;
+}
+
+std::vector<double> ShapleyVhcEstimator::estimate_sweep(
+    double adjusted_power_w, VhcComboMask full_combo) {
+  const std::size_t n = states_.size();
+  const std::size_t n_masks = std::size_t{1} << n;
+  const std::size_t num_vhcs = universe_.size();
+  worth_.resize(n_masks);
+  worth_[0] = 0.0;
+
+  if (!table_.has_value()) {
+    // Batched arithmetic path: every coalition worth is Σ_{i in S} P[i][c]
+    // where c is the coalition's combo and P[i][c] = c_i · w_c[vhc_i] — one
+    // contiguous multiply-add pass, no dispatch, no allocation.
+    const std::size_t combo_count = std::size_t{1} << num_vhcs;
+    p_.assign(n * combo_count, 0.0);
+    for (VhcComboMask c = full_combo;; c = (c - 1) & full_combo) {
+      if (c != 0) {
+        const auto w = combo_weights_.effective_weights(c);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (player_bit_[i] == 0 || (player_bit_[i] & c) == 0) continue;
+          p_[i * combo_count + c] = states_[i].dot(w.subspan(
+              player_vhc_[i] * common::kNumComponents, common::kNumComponents));
+        }
+      }
+      if (c == 0) break;
+    }
+
+    for (std::size_t mask = 1; mask < n_masks; ++mask) {
+      if (anchor_ && mask == n_masks - 1) {
+        worth_[mask] = adjusted_power_w;
+        continue;
+      }
+      VhcComboMask combo = 0;
+      for (std::size_t m = mask; m != 0; m &= m - 1)
+        combo |= player_bit_[std::countr_zero(m)];
+      if (combo == 0) {  // all members idle
+        worth_[mask] = 0.0;
+        continue;
+      }
+      ++worth_queries_;
+      double sum = 0.0;
+      for (std::size_t m = mask; m != 0; m &= m - 1)
+        sum += p_[std::countr_zero(m) * combo_count + combo];
+      worth_[mask] = sum;
+    }
+  } else {
+    // Lookup-first path: serial (the memo map is not thread-safe), but the
+    // aggregate scratch and memoized probes keep it allocation-free.
+    agg_.resize(num_vhcs);
+    for (std::size_t mask = 1; mask < n_masks; ++mask) {
+      if (anchor_ && mask == n_masks - 1) {
+        worth_[mask] = adjusted_power_w;
+        continue;
+      }
+      VhcComboMask combo = 0;
+      std::fill(agg_.begin(), agg_.end(), common::StateVector::zero());
+      for (std::size_t m = mask; m != 0; m &= m - 1) {
+        const std::size_t i = static_cast<std::size_t>(std::countr_zero(m));
+        if (player_bit_[i] == 0) continue;
+        combo |= player_bit_[i];
+        agg_[player_vhc_[i]] += states_[i];
+      }
+      worth_[mask] = combo == 0 ? 0.0 : worth_from(combo, agg_);
+    }
+  }
+
+  std::vector<double> phi(n, 0.0);
+  const std::span<const double> worth{worth_.data(), n_masks};
+  if (pool_ != nullptr && !table_.has_value() && n >= pool_min_players_)
+    accumulate_shapley_phi_parallel(n, worth, weights_, phi, *pool_);
+  else
+    accumulate_shapley_phi(n, worth, weights_, phi);
+  return phi;
+}
+
+std::vector<double> ShapleyVhcEstimator::estimate_legacy(
+    std::span<const VmSample> vms, double adjusted_power_w) {
   std::vector<common::VmTypeId> types;
   types.reserve(vms.size());
   for (const VmSample& vm : vms) types.push_back(vm.type);

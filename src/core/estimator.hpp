@@ -17,16 +17,21 @@
 // src/baselines.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/state_vector.hpp"
 #include "common/vm_config.hpp"
 #include "core/linear_approx.hpp"
 #include "core/shapley.hpp"
+#include "core/shapley_fast.hpp"
+#include "core/vhc.hpp"
 #include "sim/coalition_probe.hpp"
 
 namespace vmp::core {
@@ -72,8 +77,29 @@ class ShapleyVhcEstimator final : public PowerEstimator {
                       VscTable table, bool anchor_grand_to_measurement = true);
 
   /// Fraction of worth queries answered from the table so far (0 when no
-  /// table was supplied). Diagnostic for EXPERIMENTS.md.
+  /// table was supplied). Diagnostic for EXPERIMENTS.md and the fleet's
+  /// per-host metric export.
   [[nodiscard]] double table_hit_rate() const noexcept;
+
+  /// Worth evaluations performed so far. With symmetric players the
+  /// collapsed kernel evaluates compositions rather than masks, so this
+  /// grows far slower than 2^n per tick — exposed so tests and benchmarks
+  /// can observe the collapse.
+  [[nodiscard]] std::size_t worth_queries() const noexcept {
+    return worth_queries_;
+  }
+
+  /// Opts the pure-arithmetic (table-less) mask sweep into thread-parallel
+  /// accumulation on `pool` for games with at least `min_players`
+  /// distinguishable players. The chunked reduction is deterministic, so the
+  /// result is byte-identical for any pool size — but the call must not come
+  /// from a task already running on `pool` (see util::ThreadPool). Pass
+  /// nullptr to go back to serial.
+  void set_thread_pool(util::ThreadPool* pool,
+                       std::size_t min_players = 14) noexcept {
+    pool_ = pool;
+    pool_min_players_ = min_players;
+  }
 
   [[nodiscard]] std::vector<double> estimate(std::span<const VmSample> vms,
                                              double adjusted_power_w) override;
@@ -89,12 +115,74 @@ class ShapleyVhcEstimator final : public PowerEstimator {
   }
 
  private:
+  /// Memoized outcome of one quantized table probe. Only the *table lookup*
+  /// is memoized — a known miss still re-evaluates the approximation on the
+  /// exact (unquantized) states, so quantization never leaks into the
+  /// regression path.
+  struct TableOutcome {
+    bool hit = false;
+    double value = 0.0;
+  };
+  struct MemoKeyHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+    [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// Refreshes the cached partition / per-player metadata for this tick.
+  /// Returns the combo of all non-idle players.
+  VhcComboMask prepare_tick(std::span<const VmSample> vms);
+  /// Worth of a non-empty combo with the given aggregated states: memoized
+  /// table lookup first (Fig. 8), then the batched approximation.
+  [[nodiscard]] double worth_from(VhcComboMask combo,
+                                  std::span<const common::StateVector> aggregated);
+  [[nodiscard]] std::vector<double> estimate_collapsed(double adjusted_power_w);
+  [[nodiscard]] std::vector<double> estimate_sweep(double adjusted_power_w,
+                                                   VhcComboMask full_combo);
+  /// Pre-kernel closure path, kept for universes too large for the dense
+  /// combo-weight cache.
+  [[nodiscard]] std::vector<double> estimate_legacy(
+      std::span<const VmSample> vms, double adjusted_power_w);
+
   VhcUniverse universe_;
   VhcLinearApprox approx_;
   std::optional<VscTable> table_;
   bool anchor_;
   std::size_t table_hits_ = 0;
   std::size_t worth_queries_ = 0;
+
+  // Cross-tick caches and reusable scratch. estimate() mutates these, so a
+  // single estimator must not be shared across threads (each fleet host
+  // agent owns its own); the opt-in parallel sweep only reads them.
+  ComboWeightCache combo_weights_;
+  std::optional<VhcPartition> partition_;
+  std::vector<common::VmTypeId> cached_types_;
+  std::vector<common::VmTypeId> types_scratch_;
+  SymmetryGroups groups_;
+  std::vector<common::StateVector> states_;
+  std::vector<std::uint32_t> player_bit_;   // 1 << vhc, 0 when idle.
+  std::vector<std::size_t> player_vhc_;
+  std::vector<std::size_t> player_key_;     // symmetry key (idle sentinel).
+  std::vector<double> weights_;             // per-size Shapley weights.
+  std::size_t weights_n_ = 0;
+  std::vector<double> worth_;               // per-mask / per-composition.
+  std::vector<double> p_;                   // player x combo contributions.
+  std::vector<common::StateVector> agg_;    // aggregate scratch.
+  std::vector<std::size_t> gsize_, gstride_, gvhc_, comp_k_;
+  std::vector<std::uint32_t> gbit_;
+  std::vector<common::StateVector> gstate_;
+  std::vector<double> binom_;               // flattened Pascal triangle.
+  std::size_t binom_n_ = 0;
+  std::vector<double> phi_group_;
+  std::string memo_key_;
+  std::unordered_map<std::string, TableOutcome, MemoKeyHash, std::equal_to<>>
+      table_memo_;
+  util::ThreadPool* pool_ = nullptr;
+  std::size_t pool_min_players_ = 14;
 };
 
 /// Exact Shapley against the simulator's coalition-worth oracle. The probe's

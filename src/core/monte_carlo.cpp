@@ -1,6 +1,8 @@
 #include "core/monte_carlo.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
@@ -17,12 +19,37 @@ MonteCarloResult monte_carlo_shapley(std::size_t n, const WorthFn& v,
     throw std::invalid_argument("monte_carlo_shapley: need >= 1 permutation");
 
   util::Rng rng(options.seed);
+
+  // Small games get a dense per-mask memo (2^n doubles plus a seen-bitmap —
+  // no hashing on the walk's inner loop); larger mask spaces fall back to
+  // the hash map, which only ever holds the visited prefixes.
+  const bool dense = n <= 20;
+  std::vector<double> dense_memo;
+  std::vector<std::uint8_t> dense_seen;
   std::unordered_map<Coalition::Mask, double> memo;
-  memo.reserve(1024);
+  std::size_t evaluations = 0;
+  if (dense) {
+    dense_memo.assign(std::size_t{1} << n, 0.0);
+    dense_seen.assign(std::size_t{1} << n, 0);
+  } else {
+    memo.reserve(1024);
+  }
 
   auto worth = [&](Coalition s) {
+    if (dense) {
+      const std::size_t mask = s.mask();
+      if (!dense_seen[mask]) {
+        dense_seen[mask] = 1;
+        dense_memo[mask] = v(s);
+        ++evaluations;
+      }
+      return dense_memo[mask];
+    }
     const auto [it, inserted] = memo.try_emplace(s.mask(), 0.0);
-    if (inserted) it->second = v(s);
+    if (inserted) {
+      it->second = v(s);
+      ++evaluations;
+    }
     return it->second;
   };
 
@@ -47,12 +74,13 @@ MonteCarloResult monte_carlo_shapley(std::size_t n, const WorthFn& v,
   };
 
   std::vector<Player> order(n);
+  std::vector<Player> reversed(n);
   std::iota(order.begin(), order.end(), Player{0});
   for (std::size_t k = 0; k < options.permutations; ++k) {
     rng.shuffle(order);
     walk(order);
     if (options.antithetic) {
-      std::vector<Player> reversed(order.rbegin(), order.rend());
+      std::copy(order.rbegin(), order.rend(), reversed.begin());
       walk(reversed);
     }
   }
@@ -66,7 +94,7 @@ MonteCarloResult monte_carlo_shapley(std::size_t n, const WorthFn& v,
       result.std_errors[i] = std::sqrt(var / static_cast<double>(walks));
     }
   }
-  result.worth_evaluations = memo.size();
+  result.worth_evaluations = evaluations;
   result.permutations_used = walks;
   return result;
 }

@@ -1,5 +1,6 @@
 #include "core/shapley.hpp"
 
+#include <bit>
 #include <stdexcept>
 #include <vector>
 
@@ -18,6 +19,37 @@ double shapley_weight(std::size_t n, std::size_t s) {
   return weight;
 }
 
+void fill_shapley_weights(std::size_t n, std::vector<double>& weights) {
+  if (n == 0)
+    throw std::invalid_argument("fill_shapley_weights: n must be >= 1");
+  weights.resize(n);
+  for (std::size_t s = 0; s < n; ++s) weights[s] = shapley_weight(n, s);
+}
+
+void accumulate_shapley_phi_range(std::size_t n, std::span<const double> worth,
+                                  std::span<const double> weights,
+                                  std::span<double> phi,
+                                  std::size_t mask_begin,
+                                  std::size_t mask_end) {
+  for (std::size_t mask = mask_begin; mask < mask_end; ++mask) {
+    const auto s_size =
+        static_cast<std::size_t>(std::popcount(static_cast<std::uint32_t>(mask)));
+    if (s_size == n) continue;  // grand coalition: no player is missing.
+    const double w = weights[s_size];
+    const double base = worth[mask];
+    for (Player i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) continue;
+      phi[i] += w * (worth[mask | (std::size_t{1} << i)] - base);
+    }
+  }
+}
+
+void accumulate_shapley_phi(std::size_t n, std::span<const double> worth,
+                            std::span<const double> weights,
+                            std::span<double> phi) {
+  accumulate_shapley_phi_range(n, worth, weights, phi, 0, std::size_t{1} << n);
+}
+
 std::vector<double> shapley_values(std::size_t n, const WorthFn& v) {
   if (n == 0) throw std::invalid_argument("shapley_values: n must be >= 1");
   if (n > kMaxPlayers)
@@ -31,19 +63,11 @@ std::vector<double> shapley_values(std::size_t n, const WorthFn& v) {
     worth[mask] = v(Coalition{static_cast<Coalition::Mask>(mask)});
 
   // Precompute the per-size weights.
-  std::vector<double> weight(n);
-  for (std::size_t s = 0; s < n; ++s) weight[s] = shapley_weight(n, s);
+  std::vector<double> weight;
+  fill_shapley_weights(n, weight);
 
   std::vector<double> phi(n, 0.0);
-  for (std::size_t mask = 0; mask < n_masks; ++mask) {
-    const Coalition s{static_cast<Coalition::Mask>(mask)};
-    const std::size_t s_size = s.size();
-    for (Player i = 0; i < n; ++i) {
-      if (s.contains(i)) continue;
-      const std::size_t with_i = mask | (std::size_t{1} << i);
-      phi[i] += weight[s_size] * (worth[with_i] - worth[mask]);
-    }
-  }
+  accumulate_shapley_phi(n, worth, weight, phi);
   return phi;
 }
 

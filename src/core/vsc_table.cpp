@@ -1,5 +1,6 @@
 #include "core/vsc_table.hpp"
 
+#include <array>
 #include <stdexcept>
 
 namespace vmp::core {
@@ -48,10 +49,11 @@ std::optional<double> VscTable::lookup(
   const auto it = samples_.find(combo);
   if (it == samples_.end()) return std::nullopt;
 
-  std::vector<common::StateVector> query;
-  query.reserve(num_vhcs_);
-  for (const auto& state : vhc_states)
-    query.push_back(state.quantized(resolution_));
+  // lookup() runs once per coalition worth in the metering hot path: keep
+  // the quantized query on the stack (num_vhcs_ <= kMaxVhcs by construction).
+  std::array<common::StateVector, VhcUniverse::kMaxVhcs> query;
+  for (std::size_t j = 0; j < num_vhcs_; ++j)
+    query[j] = vhc_states[j].quantized(resolution_);
 
   double sum = 0.0;
   std::size_t hits = 0;

@@ -110,9 +110,20 @@ void FleetEngine::aggregate(const HostTickResult& result) {
              "1 when the host's last tick was served from a carried estimate")
       .set(result.degraded ? 1.0 : 0.0);
   metrics_
+      .gauge("vmpower_fleet_table_hit_rate{host=\"" + host_label + "\"}",
+             "Fraction of the host estimator's worth queries answered from "
+             "the offline v(S,C) table")
+      .set(result.table_hit_rate);
+  metrics_
       .histogram("vmpower_fleet_tick_latency_seconds",
                  "Wall time of one host metering step", 0.0, 0.05, 25)
       .observe(result.step_seconds);
+  if (!result.phi.empty() && !result.degraded)
+    metrics_
+        .histogram("vmpower_fleet_estimator_latency_seconds",
+                   "Wall time of the Shapley estimator call alone", 0.0, 0.002,
+                   25)
+        .observe(result.estimate_seconds);
 }
 
 void FleetEngine::run(std::uint64_t ticks) {

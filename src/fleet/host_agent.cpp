@@ -15,7 +15,10 @@ HostAgent::HostAgent(std::uint32_t host_id, const sim::MachineSpec& spec,
                      const core::OfflineDataset& dataset, std::uint64_t seed,
                      HostAgentOptions options)
     : host_id_(host_id), options_(options), machine_(spec, seed),
-      estimator_(dataset.universe, dataset.approximation) {
+      // The full Fig. 8 online path: lookup-first against the offline
+      // v(S, C) table, approximation for unobserved states. The estimator's
+      // cross-tick memo makes the per-tick lookups cheap.
+      estimator_(dataset.universe, dataset.approximation, dataset.table) {
   const auto benchmarks = wl::spec_subset();
   vm_ids_.reserve(fleet.size());
   for (std::size_t i = 0; i < fleet.size(); ++i) {
@@ -88,8 +91,14 @@ HostTickResult HostAgent::sample(std::uint64_t tick,
                      !last_vms_.empty();
       result.vms = result.stale ? last_vms_ : fresh;
       result.adjusted_power_w = adjusted;
-      if (!result.vms.empty())
+      if (!result.vms.empty()) {
+        const auto est_start = std::chrono::steady_clock::now();
         result.phi = estimator_.estimate(result.vms, adjusted);
+        result.estimate_seconds = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      est_start)
+                                      .count();
+      }
 
       // Stale ticks are estimates against old telemetry; only a fully fresh
       // tick becomes the carry-forward baseline.
@@ -101,6 +110,7 @@ HostTickResult HostAgent::sample(std::uint64_t tick,
     }
   }
 
+  result.table_hit_rate = estimator_.table_hit_rate();
   result.step_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

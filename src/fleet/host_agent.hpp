@@ -35,6 +35,12 @@ struct HostTickResult {
   bool stale = false;     ///< estimated from previous-tick telemetry.
   std::uint32_t retries = 0;
   double step_seconds = 0.0;  ///< wall time of the host's step (metrics only).
+  /// Wall time of the estimator call alone (0 on degraded/empty ticks);
+  /// feeds the fleet's estimator-latency histogram.
+  double estimate_seconds = 0.0;
+  /// Cumulative estimator table hit rate after this tick (0 without a
+  /// table); exported as a per-host gauge.
+  double table_hit_rate = 0.0;
 };
 
 struct HostAgentOptions {

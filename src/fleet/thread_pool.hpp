@@ -1,54 +1,12 @@
-// Fixed-size worker pool driving the per-host metering games.
-//
-// The Shapley value's Additivity axiom (paper Sec. IV-C) makes per-host
-// games independent, so the fleet engine fans one task per host per tick
-// onto this pool. The pool is deliberately minimal: FIFO submission, no
-// futures (results travel through the fleet::BoundedQueue), and a wait_idle
-// barrier the engine uses to close each tick deterministically.
+// Compatibility shim: the pool moved to util/thread_pool.hpp so the core
+// Shapley kernels (core/shapley_fast.hpp) can share it without a core ->
+// fleet dependency cycle. Fleet code keeps spelling fleet::ThreadPool.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "util/thread_pool.hpp"
 
 namespace vmp::fleet {
 
-class ThreadPool {
- public:
-  /// Spawns `threads` workers. Throws std::invalid_argument when 0.
-  explicit ThreadPool(std::size_t threads);
-
-  /// Drains outstanding work, then joins the workers.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues a task. Throws std::runtime_error after shutdown began.
-  void submit(std::function<void()> task);
-
-  /// Blocks until every submitted task has finished executing (queue empty
-  /// and no task in flight).
-  void wait_idle();
-
-  [[nodiscard]] std::size_t thread_count() const noexcept {
-    return workers_.size();
-  }
-
- private:
-  void worker_loop();
-
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> tasks_;
-  std::size_t in_flight_ = 0;  ///< queued + currently running.
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
+using util::ThreadPool;
 
 }  // namespace vmp::fleet

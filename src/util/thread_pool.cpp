@@ -1,8 +1,8 @@
-#include "fleet/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 #include <stdexcept>
 
-namespace vmp::fleet {
+namespace vmp::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0)
@@ -54,4 +54,4 @@ void ThreadPool::worker_loop() {
   }
 }
 
-}  // namespace vmp::fleet
+}  // namespace vmp::util

@@ -23,7 +23,9 @@ TEST(Coalition, SingleAndContains) {
   EXPECT_EQ(s.size(), 1u);
   EXPECT_TRUE(s.contains(3));
   EXPECT_FALSE(s.contains(2));
-  EXPECT_FALSE(s.contains(kMaxPlayers + 5));
+  // Out-of-range player indices are a caller-contract violation now
+  // (assert-in-debug, branch-free in release); only valid indices are legal.
+  EXPECT_FALSE(s.contains(kMaxPlayers - 1));
   EXPECT_THROW(Coalition::single(kMaxPlayers), std::invalid_argument);
 }
 

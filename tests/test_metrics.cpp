@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/vm_config.hpp"
+#include "core/collector.hpp"
+#include "fleet/engine.hpp"
 
 namespace vmp::fleet {
 namespace {
@@ -153,6 +159,38 @@ TEST(Metrics, ConcurrentIncrementsAreExact) {
   EXPECT_EQ(counter.value(), kThreads * kIncrements);
   EXPECT_EQ(histogram.count(),
             static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, FleetExportsEstimatorLatencyAndTableHitRate) {
+  // End-to-end presence check: a real engine run must export the estimator
+  // observability added with the fast Shapley kernels — the per-call latency
+  // histogram and the per-host table hit-rate gauge.
+  const std::vector<common::VmConfig> fleet = {common::demo_c_vm(),
+                                               common::demo_c_vm()};
+  core::CollectionOptions collect;
+  collect.duration_s = 10.0;
+  const core::OfflineDataset dataset =
+      core::collect_offline_dataset(sim::xeon_prototype(), fleet, collect);
+
+  FleetOptions options;
+  options.hosts = 2;
+  options.threads = 2;
+  options.fleet_per_host = fleet;
+  options.tenants = 2;
+  options.retry_backoff_base = std::chrono::microseconds{0};
+  FleetEngine engine(options, dataset);
+  engine.run(3);
+
+  const std::string text = engine.metrics().to_prometheus();
+  EXPECT_NE(
+      text.find("# TYPE vmpower_fleet_estimator_latency_seconds histogram"),
+      std::string::npos);
+  EXPECT_NE(text.find("vmpower_fleet_estimator_latency_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmpower_fleet_table_hit_rate{host=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("vmpower_fleet_table_hit_rate{host=\"1\"}"),
+            std::string::npos);
 }
 
 TEST(Metrics, WritePrometheusFailsOnBadPath) {
