@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace vmp::core {
 
 namespace {
@@ -135,13 +137,18 @@ double ShapleyVhcEstimator::worth_from(
 
 std::vector<double> ShapleyVhcEstimator::estimate(std::span<const VmSample> vms,
                                                   double adjusted_power_w) {
+  VMP_TRACE_SPAN("core.estimate", "core");
   require_input(vms, adjusted_power_w);
 
   // bind() is a no-op when already bound; re-binding here (rather than in
   // the constructors) keeps the cache coherent even if the estimator object
   // was moved since the last call.
   combo_weights_.bind(&approx_);
-  if (!combo_weights_.usable()) return estimate_legacy(vms, adjusted_power_w);
+  if (!combo_weights_.usable()) {
+    last_kernel_ = "legacy";
+    VMP_TRACE_SPAN("core.shapley_kernel", "core");
+    return estimate_legacy(vms, adjusted_power_w);
+  }
 
   const VhcComboMask full_combo = prepare_tick(vms);
   detect_symmetry_into(player_key_, states_, groups_);
@@ -149,8 +156,12 @@ std::vector<double> ShapleyVhcEstimator::estimate(std::span<const VmSample> vms,
   // Kernel selection: any repeated (type, state) pair shrinks the
   // composition space below 2^n, so collapse wins whenever it applies; the
   // batched sweep covers fully distinguishable fleets.
-  if (groups_.group_count() < vms.size())
+  VMP_TRACE_SPAN("core.shapley_kernel", "core");
+  if (groups_.group_count() < vms.size()) {
+    last_kernel_ = "collapsed";
     return estimate_collapsed(adjusted_power_w);
+  }
+  last_kernel_ = "sweep";
   return estimate_sweep(adjusted_power_w, full_combo);
 }
 

@@ -89,6 +89,13 @@ class ShapleyVhcEstimator final : public PowerEstimator {
     return worth_queries_;
   }
 
+  /// Which kernel the last estimate() call dispatched to: "collapsed",
+  /// "sweep", "legacy", or "none" before the first call. Feeds the fleet's
+  /// fast-path selection counters.
+  [[nodiscard]] std::string_view last_kernel() const noexcept {
+    return last_kernel_;
+  }
+
   /// Opts the pure-arithmetic (table-less) mask sweep into thread-parallel
   /// accumulation on `pool` for games with at least `min_players`
   /// distinguishable players. The chunked reduction is deterministic, so the
@@ -154,6 +161,7 @@ class ShapleyVhcEstimator final : public PowerEstimator {
   bool anchor_;
   std::size_t table_hits_ = 0;
   std::size_t worth_queries_ = 0;
+  std::string_view last_kernel_ = "none";  ///< always a literal.
 
   // Cross-tick caches and reusable scratch. estimate() mutates these, so a
   // single estimator must not be shared across threads (each fleet host

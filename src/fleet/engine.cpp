@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/serialization.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace vmp::fleet {
@@ -46,7 +47,7 @@ FleetEngine::FleetEngine(FleetOptions options,
       queue_(options_.queue_capacity == 0 ? options_.hosts
                                           : options_.queue_capacity,
              options_.backpressure),
-      pool_(options_.threads) {
+      pool_(options_.threads), monitor_(metrics_, options_.invariants) {
   HostAgentOptions agent_options;
   agent_options.period_s = options_.period_s;
   agent_options.max_retries = options_.max_retries;
@@ -109,11 +110,10 @@ void FleetEngine::aggregate(const HostTickResult& result) {
       .gauge("vmpower_fleet_host_degraded{host=\"" + host_label + "\"}",
              "1 when the host's last tick was served from a carried estimate")
       .set(result.degraded ? 1.0 : 0.0);
-  metrics_
-      .gauge("vmpower_fleet_table_hit_rate{host=\"" + host_label + "\"}",
-             "Fraction of the host estimator's worth queries answered from "
-             "the offline v(S,C) table")
-      .set(result.table_hit_rate);
+  // The hit-rate gauge routes through the invariant monitor so the sample is
+  // stamped with the tick epoch it belongs to (and threshold-checked).
+  monitor_.observe_table_hit_rate(result.tick, result.host,
+                                  result.table_hit_rate);
   metrics_
       .histogram("vmpower_fleet_tick_latency_seconds",
                  "Wall time of one host metering step", 0.0, 0.05, 25)
@@ -124,6 +124,12 @@ void FleetEngine::aggregate(const HostTickResult& result) {
                    "Wall time of the Shapley estimator call alone", 0.0, 0.002,
                    25)
         .observe(result.estimate_seconds);
+  if (!result.kernel.empty())
+    metrics_
+        .counter("vmpower_fleet_kernel_selected_total{kernel=\"" +
+                     std::string(result.kernel) + "\"}",
+                 "Host ticks dispatched to each Shapley kernel fast path")
+        .inc();
 }
 
 void FleetEngine::run(std::uint64_t ticks) {
@@ -151,6 +157,10 @@ void FleetEngine::run(std::uint64_t ticks) {
   results.reserve(options_.hosts);
   for (std::uint64_t k = 0; k < ticks; ++k) {
     const std::uint64_t now = tick_++;
+    // Trace id of everything this tick does, on the engine thread and in the
+    // worker tasks alike (tick+1: trace id 0 means "unset").
+    VMP_TRACE_CONTEXT(now + 1);
+    VMP_TRACE_SPAN("fleet.tick", "fleet");
     const std::uint64_t drops_before = queue_.dropped();
     const std::uint64_t retries_before = retries_;
     const std::uint64_t degraded_before = degraded_;
@@ -158,7 +168,12 @@ void FleetEngine::run(std::uint64_t ticks) {
 
     for (const auto& agent : agents_) {
       HostAgent* raw = agent.get();
-      pool_.submit([this, raw, now] { queue_.push(raw->sample(now, injector_)); });
+      pool_.submit([this, raw, now] {
+        // Adopt the tick's trace id on the worker thread so the collect /
+        // estimate spans group under the same trace as the engine's.
+        VMP_TRACE_CONTEXT(now + 1);
+        queue_.push(raw->sample(now, injector_));
+      });
     }
 
     results.clear();
@@ -184,7 +199,29 @@ void FleetEngine::run(std::uint64_t ticks) {
               [](const HostTickResult& a, const HostTickResult& b) {
                 return a.host < b.host;
               });
-    for (const HostTickResult& result : results) aggregate(result);
+    {
+      VMP_TRACE_SPAN("fleet.aggregate", "fleet");
+      for (const HostTickResult& result : results) aggregate(result);
+    }
+
+    // Efficiency invariant, fleet-wide per tick: what the hosts billed (Σφ)
+    // against what their meters actually measured. Fault-free this is
+    // floating-point noise (the estimator anchors the grand coalition to the
+    // measurement); meter faults open a genuine gap because billing carried
+    // the last good estimate while the machine kept drawing.
+    double residual_w = 0.0;
+    for (const HostTickResult& result : results) {
+      double phi_sum = 0.0;
+      for (const double p : result.phi) phi_sum += p;
+      residual_w += std::abs(phi_sum - result.measured_adjusted_w);
+    }
+    last_residual_w_ = residual_w;
+    monitor_.observe_efficiency(now, residual_w);
+    monitor_.observe_queue(
+        "fleet_samples", now, queue_.high_watermark(), queue_.capacity(),
+        samples_dropped(),
+        options_.backpressure == BackpressurePolicy::kDropOldest);
+
     if (observer_) observer_(*this, now, results);
 
     ticks_total.inc();

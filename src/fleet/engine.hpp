@@ -34,6 +34,7 @@
 #include "fleet/metrics.hpp"
 #include "fleet/queue.hpp"
 #include "fleet/thread_pool.hpp"
+#include "obs/invariants.hpp"
 #include "sim/machine_spec.hpp"
 
 namespace vmp::fleet {
@@ -57,6 +58,10 @@ struct FleetOptions {
   std::uint32_t max_retries = 3;
   std::chrono::microseconds retry_backoff_base{100};
   std::uint64_t dropout_ticks = 3;
+
+  /// Warn thresholds for the runtime invariant monitors (efficiency
+  /// residual, table hit rate, queue occupancy).
+  obs::InvariantOptions invariants;
 
   /// Throws std::invalid_argument on zero hosts/threads/tenants, an empty
   /// fleet, or a non-positive period.
@@ -108,6 +113,21 @@ class FleetEngine {
   [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
 
+  /// The runtime invariant monitors feeding metrics() (efficiency residual,
+  /// table hit rate, queue occupancy — see obs/invariants.hpp). The mutable
+  /// overload lets co-located components (the serve snapshot store) feed
+  /// their own invariant samples into the same monitor.
+  [[nodiscard]] obs::InvariantMonitor& invariants() noexcept {
+    return monitor_;
+  }
+  [[nodiscard]] const obs::InvariantMonitor& invariants() const noexcept {
+    return monitor_;
+  }
+  /// Most recent per-tick fleet efficiency residual Σ_h |Σφ − measured| (W).
+  [[nodiscard]] double efficiency_residual_w() const noexcept {
+    return last_residual_w_;
+  }
+
   /// Aggregated fault/backpressure tallies (also exported via metrics()).
   [[nodiscard]] std::uint64_t samples_processed() const noexcept {
     return processed_;
@@ -142,8 +162,10 @@ class FleetEngine {
   BoundedQueue<HostTickResult> queue_;
   ThreadPool pool_;
   Metrics metrics_;
+  obs::InvariantMonitor monitor_;  ///< must follow metrics_ (init order).
   TickObserver observer_;
 
+  double last_residual_w_ = 0.0;
   std::uint64_t tick_ = 0;
   std::uint64_t dropped_base_ = 0;  ///< drops carried in from a checkpoint.
   std::uint64_t processed_ = 0;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "workload/spec_suite.hpp"
 
 namespace vmp::fleet {
@@ -35,6 +36,7 @@ void HostAgent::fast_forward_tick() { machine_.step(options_.period_s); }
 
 HostTickResult HostAgent::sample(std::uint64_t tick,
                                  const FaultInjector& injector) {
+  VMP_TRACE_SPAN("fleet.collect", "fleet");
   const auto start = std::chrono::steady_clock::now();
   HostTickResult result;
   result.host = host_id_;
@@ -44,6 +46,11 @@ HostTickResult HostAgent::sample(std::uint64_t tick,
   // The physical host keeps running whether or not the monitoring plane can
   // see it: the simulation always advances exactly one period per tick.
   const sim::MeterFrame frame = machine_.step(options_.period_s);
+  // The true draw is always knowable in the simulator; record it even when
+  // the *metering* path below degrades, so the fleet's efficiency-residual
+  // invariant can compare billed φ against what the machine actually drew.
+  result.measured_adjusted_w =
+      std::max(0.0, frame.active_power_w - machine_.idle_power_w());
 
   const auto degrade = [&] {
     result.degraded = true;
@@ -79,8 +86,7 @@ HostTickResult HostAgent::sample(std::uint64_t tick,
     if (!meter_ok) {
       degrade();
     } else {
-      const double adjusted =
-          std::max(0.0, frame.active_power_w - machine_.idle_power_w());
+      const double adjusted = result.measured_adjusted_w;
       std::vector<core::VmSample> fresh;
       for (const sim::VmObservation& obs :
            machine_.hypervisor().observations())
@@ -98,6 +104,7 @@ HostTickResult HostAgent::sample(std::uint64_t tick,
                                       std::chrono::steady_clock::now() -
                                       est_start)
                                       .count();
+        result.kernel = estimator_.last_kernel();
       }
 
       // Stale ticks are estimates against old telemetry; only a fully fresh

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <string_view>
 #include <vector>
 
 #include "core/collector.hpp"
@@ -29,7 +30,13 @@ struct HostTickResult {
   std::uint64_t tick = 0;
   std::vector<core::VmSample> vms;  ///< telemetry the estimate used.
   std::vector<double> phi;          ///< per-VM watts, parallel to vms.
-  double adjusted_power_w = 0.0;
+  double adjusted_power_w = 0.0;    ///< what billing used (carried if degraded).
+  /// The simulator's true adjusted draw this tick, knowable even when the
+  /// metering path degraded. The fleet's efficiency-residual invariant is
+  /// |Σφ − measured|: ~0 on fresh ticks (the estimator anchors to the
+  /// measurement), genuinely nonzero when faults forced billing from a
+  /// carried estimate.
+  double measured_adjusted_w = 0.0;
   double idle_power_w = 0.0;
   bool degraded = false;  ///< served from the last good estimate.
   bool stale = false;     ///< estimated from previous-tick telemetry.
@@ -41,6 +48,10 @@ struct HostTickResult {
   /// Cumulative estimator table hit rate after this tick (0 without a
   /// table); exported as a per-host gauge.
   double table_hit_rate = 0.0;
+  /// Estimator kernel the tick dispatched to ("collapsed"/"sweep"/"legacy",
+  /// always a literal; empty when no estimate ran). Feeds the fleet's
+  /// fast-path selection counters.
+  std::string_view kernel;
 };
 
 struct HostAgentOptions {

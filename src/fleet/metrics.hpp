@@ -1,108 +1,16 @@
-// Fleet observability: counters, gauges, and histograms with a Prometheus
-// text-format exporter.
-//
-// A production metering service is judged by what it can prove about itself:
-// how long ticks take, how deep the sample queue runs, how many samples were
-// shed, how often hosts needed retries. Metrics is a small thread-safe
-// registry of the three classic instrument kinds; histograms reuse
-// util::Histogram for binning. Metric names may carry Prometheus labels
-// inline ("...{host=\"3\"}") on every kind, histograms included — the
-// exporter attaches the _bucket/_sum/_count suffixes to the family name and
-// merges the series' labels ahead of the reserved 'le' bucket label. It
-// groups HELP/TYPE per family and emits everything in sorted order so dumps
-// are diffable.
+// Compatibility shim: the fleet metrics registry moved to src/obs as the
+// process-wide unified MetricsRegistry (one exposition writer serves core,
+// fleet, and serve families alike; see obs/metrics.hpp). Fleet call sites
+// and tests keep their spelling through these aliases.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <filesystem>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-
-#include "util/histogram.hpp"
+#include "obs/metrics.hpp"
 
 namespace vmp::fleet {
 
-/// Monotonically increasing integer metric.
-class Counter {
- public:
-  void inc(std::uint64_t delta = 1) noexcept {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Last-write-wins floating-point metric.
-class Gauge {
- public:
-  void set(double value) noexcept {
-    value_.store(value, std::memory_order_relaxed);
-  }
-  [[nodiscard]] double value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<double> value_{0.0};
-};
-
-/// Distribution metric over fixed-width bins (a util::Histogram plus the
-/// sum/count Prometheus expects).
-class HistogramMetric {
- public:
-  /// Bin layout as in util::Histogram: [lo, hi) split into `bins`.
-  HistogramMetric(double lo, double hi, std::size_t bins);
-
-  void observe(double value);
-
-  [[nodiscard]] std::uint64_t count() const;
-  [[nodiscard]] double sum() const;
-  /// Snapshot of the underlying bins (copy; safe to render).
-  [[nodiscard]] util::Histogram snapshot() const;
-
- private:
-  mutable std::mutex mutex_;
-  util::Histogram histogram_;
-  double sum_ = 0.0;
-};
-
-/// Thread-safe metric registry. Registration returns a stable reference;
-/// re-registering the same name returns the existing instrument (the help
-/// text of the first registration wins). A name already registered as a
-/// different kind throws std::invalid_argument.
-class Metrics {
- public:
-  Counter& counter(const std::string& name, const std::string& help);
-  Gauge& gauge(const std::string& name, const std::string& help);
-  HistogramMetric& histogram(const std::string& name, const std::string& help,
-                             double lo, double hi, std::size_t bins);
-
-  /// Prometheus text exposition format, families sorted by name.
-  [[nodiscard]] std::string to_prometheus() const;
-
-  /// Writes to_prometheus() to `path`; throws std::runtime_error on I/O
-  /// failure.
-  void write_prometheus(const std::filesystem::path& path) const;
-
- private:
-  struct Entry {
-    std::string help;
-    std::unique_ptr<Counter> counter;
-    std::unique_ptr<Gauge> gauge;
-    std::unique_ptr<HistogramMetric> histogram;
-  };
-
-  Entry& entry_for(const std::string& name, const std::string& help);
-
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  // ordered => deterministic dumps.
-};
+using Counter = obs::Counter;
+using Gauge = obs::Gauge;
+using HistogramMetric = obs::HistogramMetric;
+using Metrics = obs::MetricsRegistry;
 
 }  // namespace vmp::fleet

@@ -1,0 +1,144 @@
+#include "obs/invariants.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace vmp::obs {
+
+namespace {
+
+std::string format_watts(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6e", value);
+  return buffer;
+}
+
+}  // namespace
+
+InvariantMonitor::InvariantMonitor(MetricsRegistry& registry,
+                                   InvariantOptions options)
+    : registry_(registry), options_(options) {}
+
+std::uint64_t InvariantMonitor::breaches() const noexcept {
+  std::uint64_t total = 0;
+  for (const char* invariant :
+       {"efficiency", "table_hit_rate", "queue", "ring"})
+    total += registry_
+                 .counter(labeled("vmpower_invariant_breaches_total",
+                                  {{"invariant", invariant}}),
+                          "Invariant threshold breaches")
+                 .value();
+  return total;
+}
+
+void InvariantMonitor::breach(Which which, const char* invariant,
+                              std::uint64_t epoch,
+                              const std::string& detail) {
+  registry_
+      .counter(labeled("vmpower_invariant_breaches_total",
+                       {{"invariant", invariant}}),
+               "Invariant threshold breaches")
+      .inc();
+  Throttle& throttle = throttle_[which];
+  if (throttle.warned &&
+      epoch < throttle.last_epoch + options_.warn_log_interval)
+    return;
+  throttle.warned = true;
+  throttle.last_epoch = epoch;
+  VMP_LOG_WARN("invariant=%s epoch=%llu %s", invariant,
+               static_cast<unsigned long long>(epoch), detail.c_str());
+}
+
+void InvariantMonitor::observe_efficiency(std::uint64_t epoch,
+                                          double residual_w) {
+  registry_
+      .gauge("vmpower_invariant_efficiency_residual_w",
+             "Per-tick fleet efficiency residual: sum over hosts of "
+             "|sum(phi) - measured adjusted power|")
+      .set(residual_w);
+  registry_
+      .gauge("vmpower_invariant_epoch",
+             "Tick epoch of the latest invariant samples")
+      .set(static_cast<double>(epoch));
+  if (residual_w > options_.efficiency_residual_warn_w)
+    breach(kEfficiency, "efficiency", epoch,
+           "residual_w=" + format_watts(residual_w) +
+               " threshold_w=" +
+               format_watts(options_.efficiency_residual_warn_w));
+}
+
+void InvariantMonitor::observe_table_hit_rate(std::uint64_t epoch,
+                                              std::uint32_t host,
+                                              double rate) {
+  registry_
+      .gauge(labeled("vmpower_fleet_table_hit_rate",
+                     {{"host", std::to_string(host)}}),
+             "Fraction of the host estimator's worth queries answered from "
+             "the offline v(S,C) table")
+      .set(rate);
+  if (options_.table_hit_rate_warn >= 0.0 &&
+      rate < options_.table_hit_rate_warn)
+    breach(kTableHitRate, "table_hit_rate", epoch,
+           "host=" + std::to_string(host) + " rate=" + format_watts(rate) +
+               " threshold=" + format_watts(options_.table_hit_rate_warn));
+}
+
+void InvariantMonitor::observe_queue(const char* queue, std::uint64_t epoch,
+                                     std::uint64_t watermark,
+                                     std::uint64_t capacity,
+                                     std::uint64_t shed_total, bool lossy) {
+  registry_
+      .gauge(labeled("vmpower_queue_high_watermark", {{"queue", queue}}),
+             "Deepest the bounded queue has ever run")
+      .set(static_cast<double>(watermark));
+  registry_
+      .gauge(labeled("vmpower_queue_capacity", {{"queue", queue}}),
+             "Configured capacity of the bounded queue")
+      .set(static_cast<double>(capacity));
+  const std::uint64_t newly_shed = shed_total - shed_seen_[queue];
+  shed_seen_[queue] = shed_total;
+  registry_
+      .counter(labeled("vmpower_queue_shed_observed_total",
+                       {{"queue", queue}}),
+               "Samples/requests shed from the bounded queue, as seen by "
+               "the invariant monitor")
+      .inc(newly_shed);
+
+  const bool deep =
+      lossy && capacity > 0 &&
+      static_cast<double>(watermark) >=
+          options_.queue_occupancy_warn * static_cast<double>(capacity);
+  if (newly_shed > 0 || deep)
+    breach(kQueue, "queue", epoch,
+           std::string("queue=") + queue +
+               " watermark=" + std::to_string(watermark) +
+               " capacity=" + std::to_string(capacity) +
+               " newly_shed=" + std::to_string(newly_shed));
+}
+
+void InvariantMonitor::observe_ring(std::uint64_t epoch,
+                                    std::uint64_t occupancy,
+                                    std::uint64_t retention,
+                                    std::uint64_t evictions_total) {
+  registry_
+      .gauge("vmpower_serve_snapshot_ring_occupancy",
+             "Snapshots currently retained for window queries")
+      .set(static_cast<double>(occupancy));
+  registry_
+      .gauge("vmpower_serve_snapshot_ring_retention",
+             "Configured snapshot retention ring capacity")
+      .set(static_cast<double>(retention));
+  // Evictions are by design once the ring fills; export the count, no warn.
+  Counter& evictions = registry_.counter(
+      "vmpower_serve_snapshot_evictions_total",
+      "Snapshots evicted from the retention ring");
+  if (evictions_total > evictions.value())
+    evictions.inc(evictions_total - evictions.value());
+  registry_
+      .gauge("vmpower_serve_snapshot_epoch",
+             "Epoch of the most recently published snapshot")
+      .set(static_cast<double>(epoch));
+}
+
+}  // namespace vmp::obs

@@ -1,0 +1,98 @@
+// Runtime invariant monitors: the paper's accountability claims, watched
+// continuously in the serving stack instead of proven once offline.
+//
+// The headline properties — Efficiency (Σφᵢ equals measured adjusted power,
+// Fig. 11) and approximation accuracy tracked through the VHC table hit
+// rate (Fig. 10) — degrade silently in production: a fault-injected meter
+// bills from carried estimates, a cold table forces every worth query
+// through the regression, a saturated queue sheds samples. Each monitor
+// turns one such property into a gauge/counter with a configurable warn
+// threshold; a breach emits a structured key=value log event stamped with
+// the tick epoch so dashboards and logs correlate on the same axis, and is
+// counted in vmpower_invariant_breaches_total{invariant="..."}.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace vmp::obs {
+
+struct InvariantOptions {
+  /// Warn when the per-tick fleet efficiency residual Σ_h |Σφ − measured|
+  /// exceeds this many watts. Fault-free ticks sit at floating-point noise
+  /// (~1e-13 W); any real breach means power was billed that no meter saw.
+  double efficiency_residual_warn_w = 1e-3;
+  /// Warn when a host's cumulative VHC table hit rate drops below this
+  /// fraction; negative disables (hit rate 0 is legitimate without a table).
+  double table_hit_rate_warn = -1.0;
+  /// Warn when a bounded queue's high watermark reaches this fraction of
+  /// its capacity.
+  double queue_occupancy_warn = 0.9;
+  /// Minimum epochs between two warn logs of the same invariant, so a
+  /// persistent breach cannot flood the sink (the breach counter still
+  /// counts every occurrence).
+  std::uint64_t warn_log_interval = 16;
+};
+
+/// Feeds invariant samples into a MetricsRegistry and emits structured warn
+/// events on threshold breaches. Observations for one invariant must come
+/// from one thread (the engine tick / publish path does); the exported
+/// instruments are as thread-safe as the registry.
+class InvariantMonitor {
+ public:
+  explicit InvariantMonitor(MetricsRegistry& registry,
+                            InvariantOptions options = {});
+
+  /// Per-tick fleet efficiency residual (W), stamped with the tick epoch.
+  void observe_efficiency(std::uint64_t epoch, double residual_w);
+
+  /// One host's cumulative table hit rate after a tick.
+  void observe_table_hit_rate(std::uint64_t epoch, std::uint32_t host,
+                              double rate);
+
+  /// A bounded queue's state: `queue` labels the series ("fleet_samples",
+  /// "serve_requests"), watermark is the deepest occupancy seen, shed the
+  /// cumulative drop count. `lossy` marks a queue whose overflow drops work
+  /// (drop-oldest / shedding); only those warn on deep occupancy — a full
+  /// blocking queue is flow control, not impending loss.
+  void observe_queue(const char* queue, std::uint64_t epoch,
+                     std::uint64_t watermark, std::uint64_t capacity,
+                     std::uint64_t shed_total, bool lossy = true);
+
+  /// Snapshot-ring state from the store's publish path.
+  void observe_ring(std::uint64_t epoch, std::uint64_t occupancy,
+                    std::uint64_t retention, std::uint64_t evictions_total);
+
+  /// Total threshold breaches across all invariants (the sum of the
+  /// vmpower_invariant_breaches_total series).
+  [[nodiscard]] std::uint64_t breaches() const noexcept;
+
+ private:
+  enum Which : std::size_t {
+    kEfficiency = 0,
+    kTableHitRate,
+    kQueue,
+    kRing,
+    kWhichCount,
+  };
+
+  /// Counts the breach and, rate-limited per invariant, logs one structured
+  /// event: "invariant=<name> epoch=<e> <detail>".
+  void breach(Which which, const char* invariant, std::uint64_t epoch,
+              const std::string& detail);
+
+  MetricsRegistry& registry_;
+  InvariantOptions options_;
+
+  struct Throttle {
+    bool warned = false;
+    std::uint64_t last_epoch = 0;
+  };
+  Throttle throttle_[kWhichCount];
+  std::map<std::string, std::uint64_t> shed_seen_;  ///< per-queue baseline.
+};
+
+}  // namespace vmp::obs

@@ -1,0 +1,138 @@
+// Unified metrics registry: counters, gauges, and labeled histograms behind
+// one Prometheus text-format exposition writer.
+//
+// Every subsystem (core estimator selection, fleet engine, query service,
+// invariant monitors) registers into one MetricsRegistry, so a single
+// scrape — the serve METRICS command, or the --metrics file dump — covers
+// the whole process. Registration returns a stable typed handle; metric
+// names may carry Prometheus labels inline ("...{host=\"3\"}") on every
+// kind. Use labeled() to build such names: it escapes label values per the
+// exposition-format grammar, which hand-built names would get wrong.
+//
+// Exposition guarantees (audited against the Prometheus text-format spec,
+// and machine-checked by tools/validate_prom.py in CI):
+//   * # HELP / # TYPE exactly once per family, emitted before the family's
+//     first sample, even when an unrelated name sorts between two series of
+//     the same family ("fam_other" between "fam" and "fam{a=...}");
+//   * HELP text escapes backslash and newline; label values escape
+//     backslash, double-quote, and newline;
+//   * histogram buckets are cumulative with ascending le, always closed by
+//     +Inf whose count equals _count, with the series' own labels merged
+//     ahead of the reserved le label;
+//   * one kind per family — registering "f{a=\"1\"}" as a counter and
+//     "f{b=\"2\"}" as a gauge throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/histogram.hpp"
+
+namespace vmp::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution metric over fixed-width bins (a util::Histogram plus the
+/// sum/count Prometheus expects).
+class HistogramMetric {
+ public:
+  /// Bin layout as in util::Histogram: [lo, hi) split into `bins`.
+  HistogramMetric(double lo, double hi, std::size_t bins);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  /// Snapshot of the underlying bins (copy; safe to render).
+  [[nodiscard]] util::Histogram snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  util::Histogram histogram_;
+  double sum_ = 0.0;
+};
+
+/// Escapes a label value per the exposition grammar: backslash, double
+/// quote, and newline.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Builds "family{k1=\"v1\",k2=\"v2\"}" with the values escaped. An empty
+/// label list returns the bare family name.
+[[nodiscard]] std::string labeled(
+    std::string_view family,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Thread-safe metric registry. Registration returns a stable reference;
+/// re-registering the same name returns the existing instrument (the help
+/// text of the first registration wins). A name or family already
+/// registered as a different kind throws std::invalid_argument.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  HistogramMetric& histogram(const std::string& name, const std::string& help,
+                             double lo, double hi, std::size_t bins);
+
+  /// Prometheus text exposition format, families sorted by name.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// Writes to_prometheus() to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void write_prometheus(const std::filesystem::path& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  /// Registration guts: name-level and family-level kind checks, then the
+  /// entry (created on first sight). Caller holds the mutex.
+  Entry& entry_for(const std::string& name, const std::string& help,
+                   Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;       // ordered => diffable dumps.
+  std::map<std::string, Kind> family_kinds_;   // one kind per family.
+};
+
+}  // namespace vmp::obs

@@ -1,0 +1,181 @@
+// End-to-end tracing: RAII spans over the metering and serve pipelines.
+//
+// A Span measures one named phase (collect, worth lookup, Shapley kernel,
+// aggregate, snapshot publish, parse, admission, ...) and records a
+// completed event into the process-wide Tracer's bounded in-memory ring.
+// Spans carry explicit ids: a *trace id* groups every span of one logical
+// unit of work (a fleet tick, or one query — stamped from the client's
+// request id when the wire framing carries one), a *span id* names the span
+// itself, and a *parent id* links nested spans, maintained through a
+// thread-local context so instrumentation sites never thread ids by hand.
+// TraceContext carries the trace id across explicit boundaries (the engine
+// sets it inside each worker-pool task, the dispatcher per request).
+//
+// The ring exports Chrome trace-event JSONL — one complete-event ("ph":"X")
+// object per line, loadable by chrome://tracing and Perfetto — via
+// `vmpower trace`, the serve text-protocol TRACE command, or
+// Tracer::write_chrome_jsonl.
+//
+// Cost model: tracing is OFF at runtime by default; a disarmed span is one
+// relaxed atomic load. Configuring with -DVMPOWER_TRACING=OFF compiles the
+// macros down to nothing, for the zero-cost proof in EXPERIMENTS.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef VMPOWER_TRACING_COMPILED
+#define VMPOWER_TRACING_COMPILED 1
+#endif
+
+namespace vmp::obs {
+
+/// One completed span. `name` and `category` must be string literals (the
+/// instrumentation sites all use them; events never outlive the binary).
+struct SpanEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t trace_id = 0;   ///< logical unit of work (tick / request id).
+  std::uint64_t span_id = 0;    ///< unique per recorded span.
+  std::uint64_t parent_id = 0;  ///< enclosing span on the same thread, or 0.
+  std::uint32_t thread = 0;     ///< small per-thread ordinal, stable per run.
+  std::uint64_t start_us = 0;   ///< microseconds since tracer construction.
+  std::uint64_t duration_us = 0;
+};
+
+/// Thread-safe bounded ring of completed spans. When full, the oldest event
+/// is overwritten and counted in dropped() — tracing never grows unbounded
+/// and never blocks the pipeline on an exporter.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 32768);
+
+  /// The process-wide tracer every span records into.
+  [[nodiscard]] static Tracer& global();
+
+  /// Runtime arm/disarm; a disarmed tracer makes spans free apart from one
+  /// relaxed load. Also reachable via the VMPOWER_TRACING environment
+  /// variable ("1"/"ON" arms the global tracer at first use).
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(const SpanEvent& event);
+  [[nodiscard]] std::uint64_t next_span_id() noexcept {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Small stable ordinal for the calling thread (Chrome's tid field).
+  [[nodiscard]] std::uint32_t thread_ordinal();
+
+  /// Copy of the ring, oldest first.
+  [[nodiscard]] std::vector<SpanEvent> snapshot() const;
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since tracer construction (the event clock).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Chrome trace-event JSONL: one {"ph":"X",...} object per line.
+  [[nodiscard]] std::string to_chrome_jsonl() const;
+  /// Writes to_chrome_jsonl() to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void write_chrome_jsonl(const std::filesystem::path& path) const;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_span_id_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint32_t> next_thread_{0};
+  std::uint64_t epoch_ns_;  ///< steady_clock at construction.
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> ring_;  ///< circular; head_ is the oldest slot.
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Formats one event as a Chrome trace-event JSON object (no newline).
+[[nodiscard]] std::string to_chrome_json(const SpanEvent& event);
+
+namespace detail {
+/// Thread-local ambient ids spans inherit; exposed for the Span/TraceContext
+/// implementations only.
+struct ThreadTraceState {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+};
+[[nodiscard]] ThreadTraceState& thread_trace_state() noexcept;
+}  // namespace detail
+
+/// Scoped trace id: every span opened on this thread inside the scope
+/// belongs to `trace_id` (unless it overrides explicitly). Nest-safe.
+class TraceContext {
+ public:
+  explicit TraceContext(std::uint64_t trace_id) noexcept
+      : saved_(detail::thread_trace_state()) {
+    detail::thread_trace_state().trace_id = trace_id;
+    detail::thread_trace_state().parent_span = 0;
+  }
+  ~TraceContext() { detail::thread_trace_state() = saved_; }
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  [[nodiscard]] static std::uint64_t current_trace() noexcept {
+    return detail::thread_trace_state().trace_id;
+  }
+
+ private:
+  detail::ThreadTraceState saved_;
+};
+
+/// RAII span: armed only when the global tracer is enabled; records one
+/// SpanEvent on destruction. Name/category must be string literals.
+class Span {
+ public:
+  Span(const char* name, const char* category) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool armed_ = false;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t saved_parent_ = 0;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace vmp::obs
+
+// Span macros: compiled out entirely under -DVMPOWER_TRACING=OFF so the
+// tracing-off build carries zero instrumentation cost.
+#if VMPOWER_TRACING_COMPILED
+#define VMP_TRACE_CONCAT_INNER(a, b) a##b
+#define VMP_TRACE_CONCAT(a, b) VMP_TRACE_CONCAT_INNER(a, b)
+#define VMP_TRACE_SPAN(name, category) \
+  ::vmp::obs::Span VMP_TRACE_CONCAT(vmp_span_, __LINE__) { name, category }
+#define VMP_TRACE_CONTEXT(trace_id) \
+  ::vmp::obs::TraceContext VMP_TRACE_CONCAT(vmp_trace_ctx_, __LINE__) { \
+    trace_id \
+  }
+#else
+#define VMP_TRACE_SPAN(name, category) ((void)0)
+// Evaluate the id expression so an argument that only feeds tracing does not
+// become an unused-variable warning in the tracing-off build.
+#define VMP_TRACE_CONTEXT(trace_id) ((void)(trace_id))
+#endif

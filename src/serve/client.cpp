@@ -72,14 +72,19 @@ void Client::send_raw(std::string_view bytes) {
 std::string Client::recv_frame() {
   char prefix[kFramePrefixBytes];
   read_or_throw(fd_, prefix, sizeof prefix);
-  std::uint32_t length = 0;
+  std::uint32_t raw = 0;
   for (const char byte : prefix)
-    length = (length << 8) | static_cast<std::uint8_t>(byte);
+    raw = (raw << 8) | static_cast<std::uint8_t>(byte);
+  const bool has_id = (raw & kFrameIdFlag) != 0;
+  const std::uint32_t length = raw & ~kFrameIdFlag;
   if (length > kMaxFrameBytes)
     throw std::runtime_error("serve client: oversized response frame");
+  const std::size_t header =
+      kFramePrefixBytes + (has_id ? kFrameIdBytes : 0);
   std::string frame(prefix, sizeof prefix);
-  frame.resize(sizeof prefix + length);
-  read_or_throw(fd_, frame.data() + sizeof prefix, length);
+  frame.resize(header + length);
+  read_or_throw(fd_, frame.data() + kFramePrefixBytes,
+                frame.size() - kFramePrefixBytes);
   return frame;
 }
 
@@ -110,9 +115,44 @@ Response Client::query(const Request& request) {
   return *response;
 }
 
+Response Client::query_with_id(const Request& request,
+                               std::uint64_t request_id) {
+  send_raw(encode_frame_with_id(encode_request(request), request_id));
+  const std::string frame = recv_frame();
+  std::string_view bytes{frame};
+  std::uint32_t raw = 0;
+  for (std::size_t i = 0; i < kFramePrefixBytes; ++i)
+    raw = (raw << 8) | static_cast<std::uint8_t>(bytes[i]);
+  if ((raw & kFrameIdFlag) == 0)
+    throw std::runtime_error("serve client: response frame lost the id flag");
+  std::uint64_t echoed = 0;
+  for (std::size_t i = 0; i < kFrameIdBytes; ++i)
+    echoed = (echoed << 8) |
+             static_cast<std::uint8_t>(bytes[kFramePrefixBytes + i]);
+  if (echoed != request_id)
+    throw std::runtime_error("serve client: response echoed wrong request id");
+  const auto response = decode_response(
+      bytes.substr(kFramePrefixBytes + kFrameIdBytes));
+  if (!response)
+    throw std::runtime_error("serve client: undecodable response body");
+  return *response;
+}
+
 std::string Client::query_text(const std::string& line) {
   send_raw(line + "\n");
   return recv_line();
+}
+
+std::string Client::scrape(const std::string& command) {
+  send_raw(command + "\n");
+  std::string payload;
+  while (true) {
+    const std::string line = recv_line();
+    if (line == kScrapeEof) break;
+    payload += line;
+    payload += '\n';
+  }
+  return payload;
 }
 
 }  // namespace vmp::serve

@@ -28,9 +28,18 @@ class Client {
   /// protocol failures come back as error Responses.
   [[nodiscard]] Response query(const Request& request);
 
+  /// Binary round trip with `request_id` stamped in the frame (kFrameIdFlag);
+  /// throws std::runtime_error when the response does not echo the same id.
+  [[nodiscard]] Response query_with_id(const Request& request,
+                                       std::uint64_t request_id);
+
   /// Text round trip: sends `line` (newline appended) and returns the
   /// response line without its newline.
   [[nodiscard]] std::string query_text(const std::string& line);
+
+  /// Multi-line text command ("METRICS" / "TRACE"): returns every line up to
+  /// — not including — the "# EOF" terminator, newline-separated.
+  [[nodiscard]] std::string scrape(const std::string& command);
 
   /// Raw escape hatches for robustness tests.
   void send_raw(std::string_view bytes);

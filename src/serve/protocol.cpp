@@ -148,6 +148,37 @@ std::string encode_frame(std::string_view body) {
   return frame;
 }
 
+std::string encode_frame_with_id(std::string_view body,
+                                 std::uint64_t request_id) {
+  std::string frame;
+  frame.reserve(kFramePrefixBytes + kFrameIdBytes + body.size());
+  put_u32(frame, static_cast<std::uint32_t>(body.size()) | kFrameIdFlag);
+  put_u64(frame, request_id);
+  frame.append(body);
+  return frame;
+}
+
+bool strip_text_request_id(std::string_view& line, std::uint64_t& request_id) {
+  if (line.empty() || line.front() != '#') return false;
+  std::size_t pos = 1;
+  std::uint64_t id = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(line[pos] - '0');
+    if (id > (0xffffffffffffffffull - digit) / 10) return false;  // overflow.
+    id = id * 10 + digit;
+    ++pos;
+  }
+  // Well-formed only as "#<digits>" then a separator (or end of line, for
+  // commands like a bare "#7" — which then parses as an empty request).
+  if (pos == 1) return false;
+  if (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') return false;
+  line.remove_prefix(pos);
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+    line.remove_prefix(1);
+  request_id = id;
+  return true;
+}
+
 std::string encode_request(const Request& request) {
   std::string body;
   body.push_back(static_cast<char>(request.kind));

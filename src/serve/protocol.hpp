@@ -10,9 +10,21 @@
 //    `u64 epoch, u8 count, count x f64` (OK) or `u16 code, u16 len, message`
 //    (error). Frames longer than kMaxFrameBytes are rejected up front.
 //
+//    A client may set bit 31 of the length prefix (kFrameIdFlag) to carry an
+//    8-byte big-endian *request id* between the prefix and the body; the
+//    response frame echoes the flag and the same id, which is what lets a
+//    pipelining client correlate out-of-order responses. Unflagged frames
+//    are byte-identical to the pre-id protocol.
+//
 //  * Text: one newline-terminated line per request ("tenant-energy 2 10 50"),
 //    one line per response ("OK <epoch> <values...>" / "ERR <code> <msg>") —
-//    telnet-friendly and self-describing.
+//    telnet-friendly and self-describing. A leading "#<id>" token is the
+//    text spelling of the request id ("#42 stats") and is echoed as the
+//    first token of the response line ("#42 OK ...").
+//
+// The request id is wire-level correlation only: it never enters
+// Request::canonical(), so the result cache is id-blind. The dispatcher
+// stamps it into the query's trace spans as the trace id.
 //
 // Doubles are formatted with %.17g so text responses round-trip exactly and
 // identical queries produce byte-identical responses on every transport.
@@ -76,9 +88,27 @@ struct Response {
 inline constexpr std::size_t kFramePrefixBytes = 4;
 inline constexpr std::size_t kMaxFrameBytes = 64 * 1024;
 inline constexpr std::size_t kMaxLineBytes = 1024;
+/// Bit 31 of the length prefix: an 8-byte request id follows the prefix.
+/// Frame length checks mask the flag first, so a garbage prefix like
+/// 0xFFFFFFFF still reads as an oversized frame, never a huge id-less body.
+inline constexpr std::uint32_t kFrameIdFlag = 0x80000000u;
+inline constexpr std::size_t kFrameIdBytes = 8;
+
+/// Terminator line of the multi-line METRICS / TRACE scrape responses.
+inline constexpr std::string_view kScrapeEof = "# EOF";
 
 /// Length-prefixes `body` (the framing shared by requests and responses).
 [[nodiscard]] std::string encode_frame(std::string_view body);
+/// Length-prefixes `body` with kFrameIdFlag set and `request_id` between the
+/// prefix and the body.
+[[nodiscard]] std::string encode_frame_with_id(std::string_view body,
+                                               std::uint64_t request_id);
+
+/// Consumes a leading "#<id>" token ("#42 stats" -> line "stats", id 42).
+/// Returns false — leaving `line` untouched — when there is no well-formed
+/// id token; the line then parses (or fails) exactly as before ids existed.
+[[nodiscard]] bool strip_text_request_id(std::string_view& line,
+                                         std::uint64_t& request_id);
 
 /// --- binary bodies ---------------------------------------------------------
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 
 namespace vmp::serve {
 
@@ -36,7 +37,11 @@ QueryEngine::QueryEngine(const SnapshotStore& store, QueryEngineOptions options)
 }
 
 Response QueryEngine::execute(const Request& request) {
-  const auto latest = store_.latest();
+  std::shared_ptr<const Snapshot> latest;
+  {
+    VMP_TRACE_SPAN("serve.snapshot_fetch", "serve");
+    latest = store_.latest();
+  }
   if (!latest)
     return Response::error(ErrorCode::kNoSnapshot,
                            "no snapshot published yet");
@@ -64,23 +69,27 @@ Response QueryEngine::execute(const Request& request) {
       request.canonical() + "@L" + std::to_string(latest->epoch);
   if (cache_lookup(fast_key, cached)) return note_hit(cached);
 
-  std::shared_ptr<const Snapshot> s0 = store_.at_or_before(request.t0);
-  if (!s0) {
-    // A bound before the oldest snapshot is a zero baseline while the
-    // genesis snapshot (epoch 1) is still retained; once it has been
-    // evicted the history is genuinely gone.
-    const auto first = store_.oldest();
-    if (!first || first->epoch != 1)
-      return Response::error(
-          ErrorCode::kOutOfRetention,
-          "window start predates the snapshot retention ring");
-    s0 = genesis_baseline();
+  std::shared_ptr<const Snapshot> s0, s1;
+  {
+    VMP_TRACE_SPAN("serve.snapshot_fetch", "serve");
+    s0 = store_.at_or_before(request.t0);
+    if (!s0) {
+      // A bound before the oldest snapshot is a zero baseline while the
+      // genesis snapshot (epoch 1) is still retained; once it has been
+      // evicted the history is genuinely gone.
+      const auto first = store_.oldest();
+      if (!first || first->epoch != 1)
+        return Response::error(
+            ErrorCode::kOutOfRetention,
+            "window start predates the snapshot retention ring");
+      s0 = genesis_baseline();
+    }
+    s1 = request.t1 >= latest->time_s ? latest
+                                      : store_.at_or_before(request.t1);
+    // t1 >= t0, so s1 can only be null when s0 already fell back to the
+    // genesis baseline: the whole window predates accounting.
+    if (!s1) s1 = s0;
   }
-  std::shared_ptr<const Snapshot> s1 =
-      request.t1 >= latest->time_s ? latest : store_.at_or_before(request.t1);
-  // t1 >= t0, so s1 can only be null when s0 already fell back to the
-  // genesis baseline: the whole window predates accounting.
-  if (!s1) s1 = s0;
 
   // Durable key: pinned to the resolved epoch pair, so the entry stays valid
   // across publishes that leave the pair — and therefore the answer —
@@ -119,6 +128,7 @@ void QueryEngine::note_miss() {
 Response QueryEngine::evaluate(
     const Request& request, const std::shared_ptr<const Snapshot>& s0,
     const std::shared_ptr<const Snapshot>& s1) const {
+  VMP_TRACE_SPAN("serve.evaluate", "serve");
   const Snapshot& head = *s1;
   switch (request.kind) {
     case QueryKind::kVmPower: {

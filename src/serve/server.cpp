@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace vmp::serve {
@@ -143,12 +144,13 @@ void Server::serve_connection(const std::shared_ptr<Conn>& conn) {
   active.set(static_cast<double>(
       active_conns_.fetch_add(1, std::memory_order_relaxed) + 1));
   // Protocol sniff: binary frames open with a 4-byte big-endian length whose
-  // first byte is 0x00 for any frame under 16 MiB; text lines open with a
-  // printable verb.
+  // first byte is 0x00 for any frame under 16 MiB — or 0x80 when the prefix
+  // carries kFrameIdFlag; text lines open with a printable ASCII verb.
   char first = 0;
   const ssize_t peeked = ::recv(conn->fd, &first, 1, MSG_PEEK);
   if (peeked == 1) {
-    if (static_cast<unsigned char>(first) < 0x20)
+    const auto byte = static_cast<unsigned char>(first);
+    if (byte < 0x20 || byte >= 0x80)
       serve_binary(conn);
     else
       serve_text(conn);
@@ -163,19 +165,28 @@ void Server::serve_binary(const std::shared_ptr<Conn>& conn) {
   while (conn->open.load(std::memory_order_relaxed)) {
     char prefix[kFramePrefixBytes];
     if (!read_fully(conn->fd, prefix, sizeof prefix)) return;
-    std::uint32_t length = 0;
+    std::uint32_t raw = 0;
     for (const char byte : prefix)
-      length = (length << 8) | static_cast<std::uint8_t>(byte);
+      raw = (raw << 8) | static_cast<std::uint8_t>(byte);
+    const bool has_id = (raw & kFrameIdFlag) != 0;
+    const std::uint32_t length = raw & ~kFrameIdFlag;
     if (length > kMaxFrameBytes) {
       // Cannot resync a stream after refusing to read the body; reject and
-      // drop the connection.
+      // drop the connection (before the id bytes, so no id to echo).
       reply_error(*conn, /*binary=*/true, ErrorCode::kFrameTooLarge,
                   "frame exceeds 64 KiB limit");
       return;
     }
+    std::uint64_t request_id = 0;
+    if (has_id) {
+      char id_bytes[kFrameIdBytes];
+      if (!read_fully(conn->fd, id_bytes, sizeof id_bytes)) return;
+      for (const char byte : id_bytes)
+        request_id = (request_id << 8) | static_cast<std::uint8_t>(byte);
+    }
     std::string body(length, '\0');
     if (!read_fully(conn->fd, body.data(), length)) return;  // mid-frame EOF.
-    admit(conn, std::move(body), /*binary=*/true);
+    admit(conn, std::move(body), /*binary=*/true, has_id, request_id);
   }
 }
 
@@ -199,28 +210,36 @@ void Server::serve_text(const std::shared_ptr<Conn>& conn) {
     buffer.erase(0, newline + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;  // blank lines are keep-alive no-ops.
-    admit(conn, std::move(line), /*binary=*/false);
+    // Peek the "#<id>" token (the dispatcher consumes and echoes it on the
+    // normal path) so a shed response can still carry the client's id.
+    std::string_view peek{line};
+    std::uint64_t request_id = 0;
+    const bool has_id = strip_text_request_id(peek, request_id);
+    admit(conn, std::move(line), /*binary=*/false, has_id, request_id);
   }
 }
 
 void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
-                   bool binary) {
+                   bool binary, bool has_id, std::uint64_t request_id) {
+  VMP_TRACE_CONTEXT(request_id);
+  VMP_TRACE_SPAN("serve.admission", "serve");
   if (!conn->bucket.try_acquire(steady_seconds())) {
     metrics_
         .counter("vmpower_serve_shed_total{reason=\"throttle\"}",
                  "Requests shed by per-client token buckets")
         .inc();
     reply_error(*conn, binary, ErrorCode::kThrottled,
-                "client exceeded its request rate");
+                "client exceeded its request rate", has_id, request_id);
     return;
   }
-  if (!queue_.try_push(Task{conn, std::move(payload), binary})) {
+  if (!queue_.try_push(
+          Task{conn, std::move(payload), binary, has_id, request_id})) {
     metrics_
         .counter("vmpower_serve_shed_total{reason=\"queue\"}",
                  "Requests shed by the bounded request queue")
         .inc();
     reply_error(*conn, binary, ErrorCode::kOverloaded,
-                "request queue is full");
+                "request queue is full", has_id, request_id);
     return;
   }
   metrics_
@@ -233,11 +252,16 @@ void Server::worker_loop() {
   while (auto task = queue_.pop()) {
     if (options_.worker_delay.count() > 0)
       std::this_thread::sleep_for(options_.worker_delay);
-    if (task->binary)
-      reply(*task->conn,
-            encode_frame(dispatcher_.handle_binary(task->payload)));
-    else
+    if (task->binary) {
+      const std::string body =
+          dispatcher_.handle_binary(task->payload, task->request_id);
+      reply(*task->conn, task->has_id
+                             ? encode_frame_with_id(body, task->request_id)
+                             : encode_frame(body));
+    } else {
+      // Text ids live in the line itself; the dispatcher echoes them.
       reply(*task->conn, dispatcher_.handle_text(task->payload) + "\n");
+    }
   }
 }
 
@@ -249,12 +273,18 @@ void Server::reply(Conn& conn, std::string_view bytes) {
 }
 
 void Server::reply_error(Conn& conn, bool binary, ErrorCode code,
-                         const std::string& message) {
+                         const std::string& message, bool has_id,
+                         std::uint64_t request_id) {
   const Response response = Response::error(code, message);
-  if (binary)
-    reply(conn, encode_frame(encode_response(response)));
-  else
-    reply(conn, format_response_text(response) + "\n");
+  if (binary) {
+    const std::string body = encode_response(response);
+    reply(conn, has_id ? encode_frame_with_id(body, request_id)
+                       : encode_frame(body));
+  } else {
+    std::string line = format_response_text(response);
+    if (has_id) line = "#" + std::to_string(request_id) + " " + line;
+    reply(conn, line + "\n");
+  }
 }
 
 }  // namespace vmp::serve

@@ -8,9 +8,10 @@
 // explicit error response — a throttled or overflowed request never touches
 // a worker — and every shed is counted in fleet::Metrics. Responses are
 // written in completion order; a client that pipelines requests on one
-// connection may see a shed error overtake an earlier slow response (the
-// protocol carries no request ids yet — see ROADMAP), so strictly ordered
-// clients await each response, as the CLI client does.
+// connection may see a shed error overtake an earlier slow response, so it
+// should stamp a request id into each frame (kFrameIdFlag / "#<id>", echoed
+// in every response including sheds) or await each response, as the CLI
+// client does.
 //
 // The server binds 127.0.0.1 only: attribution data is tenant-billing data,
 // and transport hardening (TLS, auth) is out of scope for the loopback MVP.
@@ -79,6 +80,8 @@ class Server {
     std::shared_ptr<Conn> conn;
     std::string payload;  ///< binary body or text line.
     bool binary = false;
+    bool has_id = false;          ///< binary frame carried kFrameIdFlag.
+    std::uint64_t request_id = 0; ///< echoed in the response frame.
   };
 
   void accept_loop();
@@ -87,12 +90,14 @@ class Server {
   void serve_text(const std::shared_ptr<Conn>& conn);
   void worker_loop();
   /// Token bucket + queue admission; writes the shed error itself when the
-  /// request is rejected.
+  /// request is rejected (echoing the request id, so a pipelining client can
+  /// still correlate the shed).
   void admit(const std::shared_ptr<Conn>& conn, std::string payload,
-             bool binary);
+             bool binary, bool has_id = false, std::uint64_t request_id = 0);
   void reply(Conn& conn, std::string_view bytes);
   void reply_error(Conn& conn, bool binary, ErrorCode code,
-                   const std::string& message);
+                   const std::string& message, bool has_id = false,
+                   std::uint64_t request_id = 0);
 
   ServerOptions options_;
   Dispatcher dispatcher_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace vmp::serve {
 
 namespace {
@@ -44,11 +46,23 @@ SnapshotStore::SnapshotStore(std::size_t retention) : retention_(retention) {
 
 void SnapshotStore::publish(Snapshot snapshot) {
   snapshot.epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t epoch = snapshot.epoch;
   auto published = std::make_shared<const Snapshot>(std::move(snapshot));
-  std::lock_guard lock(ring_mutex_);
-  ring_.push_back(published);
-  if (ring_.size() > retention_) ring_.pop_front();
-  latest_ = std::move(published);
+  std::size_t occupancy = 0;
+  std::uint64_t evictions = 0;
+  {
+    std::lock_guard lock(ring_mutex_);
+    ring_.push_back(published);
+    if (ring_.size() > retention_) {
+      ring_.pop_front();
+      ++evictions_;
+    }
+    occupancy = ring_.size();
+    evictions = evictions_;
+    latest_ = std::move(published);
+  }
+  if (monitor_ != nullptr)
+    monitor_->observe_ring(epoch, occupancy, retention_, evictions);
 }
 
 std::shared_ptr<const Snapshot> SnapshotStore::latest() const {
@@ -76,6 +90,7 @@ std::shared_ptr<const Snapshot> SnapshotStore::at_or_before(double t_s) const {
 void SnapshotStore::publish_tick(
     const fleet::FleetEngine& engine, std::uint64_t tick,
     const std::vector<fleet::HostTickResult>& results) {
+  VMP_TRACE_SPAN("serve.snapshot_publish", "serve");
   const double period_s = engine.options().period_s;
   Snapshot snapshot;
   snapshot.tick = tick + 1;  // ledgers now include this tick's interval.
@@ -129,6 +144,7 @@ void SnapshotStore::publish_tick(
 }
 
 void SnapshotStore::attach(fleet::FleetEngine& engine) {
+  set_monitor(&engine.invariants());
   engine.set_tick_observer(
       [this](const fleet::FleetEngine& source, std::uint64_t tick,
              const std::vector<fleet::HostTickResult>& results) {

@@ -23,6 +23,7 @@
 
 #include "core/multi_host.hpp"
 #include "fleet/engine.hpp"
+#include "obs/invariants.hpp"
 
 namespace vmp::serve {
 
@@ -91,6 +92,18 @@ class SnapshotStore {
   [[nodiscard]] std::uint64_t published() const noexcept {
     return next_epoch_.load(std::memory_order_relaxed);
   }
+  /// Snapshots evicted from the ring since construction.
+  [[nodiscard]] std::uint64_t evictions() const {
+    std::lock_guard lock(ring_mutex_);
+    return evictions_;
+  }
+
+  /// Feeds ring occupancy/eviction samples into `monitor` on every publish
+  /// (attach() wires the engine's monitor automatically); nullptr detaches.
+  /// The monitor must outlive subsequent publishes.
+  void set_monitor(obs::InvariantMonitor* monitor) noexcept {
+    monitor_ = monitor;
+  }
 
   /// Builds a snapshot from the engine's ledgers and this tick's results and
   /// publishes it. Hosts absent from `results` (shed under drop-oldest
@@ -106,9 +119,11 @@ class SnapshotStore {
  private:
   const std::size_t retention_;
   std::atomic<std::uint64_t> next_epoch_{0};
+  obs::InvariantMonitor* monitor_ = nullptr;  ///< publish-thread only.
   mutable std::mutex ring_mutex_;
   std::shared_ptr<const Snapshot> latest_;            ///< guarded by the ring mutex.
   std::deque<std::shared_ptr<const Snapshot>> ring_;  ///< time-ascending.
+  std::uint64_t evictions_ = 0;                       ///< guarded by the ring mutex.
 };
 
 }  // namespace vmp::serve

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
+
 namespace vmp::serve {
 
 namespace {
@@ -15,6 +17,14 @@ std::uint32_t read_prefix(std::string_view frame) {
   for (std::size_t i = 0; i < kFramePrefixBytes; ++i)
     length = (length << 8) | static_cast<std::uint8_t>(frame[i]);
   return length;
+}
+
+std::uint64_t read_frame_id(std::string_view frame) {
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < kFrameIdBytes; ++i)
+    id = (id << 8) |
+         static_cast<std::uint8_t>(frame[kFramePrefixBytes + i]);
+  return id;
 }
 
 }  // namespace
@@ -61,12 +71,59 @@ Response Dispatcher::run(const std::optional<Request>& request,
   return response;
 }
 
-std::string Dispatcher::handle_binary(std::string_view body) {
-  return encode_response(run(decode_request(body), "binary"));
+std::string Dispatcher::handle_binary(std::string_view body,
+                                      std::uint64_t trace_id) {
+  VMP_TRACE_CONTEXT(trace_id);
+  std::optional<Request> request;
+  {
+    VMP_TRACE_SPAN("serve.parse", "serve");
+    request = decode_request(body);
+  }
+  const Response response = run(request, "binary");
+  VMP_TRACE_SPAN("serve.encode", "serve");
+  return encode_response(response);
+}
+
+std::optional<std::string> Dispatcher::run_command(std::string_view line) {
+  std::string payload;
+  const char* command = nullptr;
+  if (line == "METRICS") {
+    command = "metrics";
+    if (metrics_) payload = metrics_->to_prometheus();
+  } else if (line == "TRACE") {
+    command = "trace";
+    payload = obs::Tracer::global().to_chrome_jsonl();
+  } else {
+    return std::nullopt;
+  }
+  if (metrics_)
+    metrics_
+        ->counter("vmpower_serve_scrapes_total{command=\"" +
+                      std::string(command) + "\"}",
+                  "METRICS / TRACE scrape commands served")
+        .inc();
+  payload.append(kScrapeEof);
+  return payload;
 }
 
 std::string Dispatcher::handle_text(std::string_view line) {
-  return format_response_text(run(parse_request_text(line), "text"));
+  std::uint64_t request_id = 0;
+  const bool has_id = strip_text_request_id(line, request_id);
+  VMP_TRACE_CONTEXT(request_id);
+  std::string payload;
+  if (auto scrape = run_command(line)) {
+    payload = std::move(*scrape);
+  } else {
+    std::optional<Request> request;
+    {
+      VMP_TRACE_SPAN("serve.parse", "serve");
+      request = parse_request_text(line);
+    }
+    const Response response = run(request, "text");
+    VMP_TRACE_SPAN("serve.encode", "serve");
+    payload = format_response_text(response);
+  }
+  return has_id ? "#" + std::to_string(request_id) + " " + payload : payload;
 }
 
 InProcessTransport::InProcessTransport(QueryEngine& engine,
@@ -77,14 +134,20 @@ std::string InProcessTransport::roundtrip_binary(std::string_view frame) {
   if (frame.size() < kFramePrefixBytes)
     return encode_frame(encode_response(
         Response::error(ErrorCode::kMalformed, "truncated frame prefix")));
-  const std::uint32_t length = read_prefix(frame);
+  const std::uint32_t prefix = read_prefix(frame);
+  const bool has_id = (prefix & kFrameIdFlag) != 0;
+  const std::uint32_t length = prefix & ~kFrameIdFlag;
+  const std::size_t header =
+      kFramePrefixBytes + (has_id ? kFrameIdBytes : 0);
   if (length > kMaxFrameBytes)
     return encode_frame(encode_response(Response::error(
         ErrorCode::kFrameTooLarge, "frame exceeds 64 KiB limit")));
-  if (frame.size() != kFramePrefixBytes + length)
+  if (frame.size() != header + length || frame.size() < header)
     return encode_frame(encode_response(
         Response::error(ErrorCode::kMalformed, "frame length mismatch")));
-  return encode_frame(dispatcher_.handle_binary(frame.substr(kFramePrefixBytes)));
+  const std::uint64_t request_id = has_id ? read_frame_id(frame) : 0;
+  std::string body = dispatcher_.handle_binary(frame.substr(header), request_id);
+  return has_id ? encode_frame_with_id(body, request_id) : encode_frame(body);
 }
 
 std::string InProcessTransport::roundtrip_text(std::string_view line) {

@@ -2,11 +2,19 @@
 //
 // Dispatcher turns request bytes into response bytes: decode (binary body or
 // text line) -> QueryEngine::execute -> encode, with per-protocol and
-// per-query-kind latency histograms and a protocol-error counter. The TCP
-// server's workers and the in-process transport both call it, which is what
-// makes "the same query returns byte-identical responses on every transport"
-// true by construction rather than by test luck — and lets tests and benches
+// per-query-kind latency histograms, a protocol-error counter, and trace
+// spans over the parse/evaluate/encode phases (the client's request id, when
+// the framing carried one, becomes the spans' trace id). The TCP server's
+// workers and the in-process transport both call it, which is what makes
+// "the same query returns byte-identical responses on every transport" true
+// by construction rather than by test luck — and lets tests and benches
 // drive the exact production path deterministically, no sockets involved.
+//
+// Two text-protocol *commands* ride the same path next to the query verbs:
+// "METRICS" answers with the full Prometheus exposition of the wired
+// registry and "TRACE" with the tracer ring as Chrome trace-event JSONL —
+// both multi-line payloads terminated by a lone "# EOF" line, so a
+// line-oriented client knows where the scrape ends.
 #pragma once
 
 #include <string>
@@ -23,14 +31,22 @@ class Dispatcher {
   explicit Dispatcher(QueryEngine& engine, fleet::Metrics* metrics = nullptr);
 
   /// Handles one binary request body (unframed); returns the response body.
-  [[nodiscard]] std::string handle_binary(std::string_view body);
+  /// `trace_id` (the frame's request id, 0 when absent) groups the request's
+  /// spans; framing-level id echo is the transport's job.
+  [[nodiscard]] std::string handle_binary(std::string_view body,
+                                          std::uint64_t trace_id = 0);
 
-  /// Handles one request line (no newline); returns the response line.
+  /// Handles one request line (no newline); returns the response line. A
+  /// leading "#<id>" token is consumed, used as the trace id, and echoed as
+  /// the first token of the response.
   [[nodiscard]] std::string handle_text(std::string_view line);
 
  private:
   [[nodiscard]] Response run(const std::optional<Request>& request,
                              const char* proto);
+  /// nullopt when `line` is not a command; otherwise the full multi-line
+  /// payload, "# EOF"-terminated.
+  [[nodiscard]] std::optional<std::string> run_command(std::string_view line);
 
   QueryEngine& engine_;
   fleet::Metrics* metrics_;

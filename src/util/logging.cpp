@@ -4,15 +4,29 @@
 #include <cstdarg>
 #include <cstdio>
 #include <mutex>
+#include <string>
+#include <utility>
 
 namespace vmp::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// One mutex around sink dispatch: concurrent fleet hosts emit whole lines,
+// never interleaved fragments. The filtered-out fast path stays lock-free.
+std::mutex g_sink_mutex;
+LogSink& sink_slot() {
+  static LogSink sink;  // empty = default stderr sink.
+  return sink;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  sink_slot() = std::move(sink);
+}
 
 const char* to_string(LogLevel level) noexcept {
   switch (level) {
@@ -29,17 +43,33 @@ namespace detail {
 
 void vlog(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  // One mutex around the sink writes: concurrent fleet hosts emit whole
-  // lines, never interleaved fragments. The filtered-out fast path above
-  // stays lock-free.
-  static std::mutex sink_mutex;
-  std::lock_guard lock(sink_mutex);
-  std::fprintf(stderr, "[vmpower %s] ", to_string(level));
+
+  // Format the complete line into a private buffer before taking the sink
+  // mutex, so the line is indivisible by construction whatever the sink does.
+  std::string line = "[vmpower ";
+  line += to_string(level);
+  line += "] ";
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  if (needed > 0) {
+    const std::size_t prefix = line.size();
+    line.resize(prefix + static_cast<std::size_t>(needed));
+    std::vsnprintf(line.data() + prefix,
+                   static_cast<std::size_t>(needed) + 1, fmt, args);
+  }
   va_end(args);
-  std::fputc('\n', stderr);
+
+  std::lock_guard lock(g_sink_mutex);
+  if (sink_slot()) {
+    sink_slot()(level, line);
+  } else {
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
 }
 
 }  // namespace detail

@@ -3,6 +3,7 @@
 // no allocation on the fast (filtered-out) path.
 #pragma once
 
+#include <functional>
 #include <string_view>
 
 namespace vmp::util {
@@ -14,6 +15,15 @@ void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
 [[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Receives each fully formatted log line (prefix included, no newline).
+/// Lines are complete when delivered — emitters format into a private buffer
+/// first, so a sink never sees interleaved fragments from other threads.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the stderr sink; an empty function restores the default. The
+/// sink runs under the logging mutex — keep it fast and never log from it.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <string>
@@ -129,6 +130,100 @@ TEST(Metrics, LabeledSeriesShareOneFamilyHeader) {
   EXPECT_EQ(helps, 1u);
   EXPECT_NE(text.find("err{host=\"0\"} 1\n"), std::string::npos);
   EXPECT_NE(text.find("err{host=\"1\"} 2\n"), std::string::npos);
+}
+
+TEST(Metrics, LabelValuesEscapePerExpositionGrammar) {
+  Metrics metrics;
+  metrics
+      .gauge(obs::labeled("path_bytes", {{"path", "C:\\tmp\n\"x\""}}),
+             "bytes per path")
+      .set(1);
+  const std::string text = metrics.to_prometheus();
+  // Backslash, newline, and double quote must all be escaped in the value.
+  EXPECT_NE(text.find("path_bytes{path=\"C:\\\\tmp\\n\\\"x\\\"\"} 1\n"),
+            std::string::npos);
+
+  // HELP text escapes backslash and newline (but not quotes).
+  Metrics help_metrics;
+  help_metrics.counter("c_total", "line1\nline2 \\ end").inc();
+  const std::string help_text = help_metrics.to_prometheus();
+  EXPECT_NE(help_text.find("# HELP c_total line1\\nline2 \\\\ end\n"),
+            std::string::npos);
+}
+
+TEST(Metrics, FamilyHeadersSurviveUnrelatedNamesSortingBetweenSeries) {
+  // '_' (0x5f) sorts before '{' (0x7b): "err_rate" lands between "err" and
+  // "err{...}" in plain name order. Grouping must be by family, not by
+  // sorted-name adjacency, or HELP/TYPE would repeat.
+  Metrics metrics;
+  metrics.gauge("err{host=\"0\"}", "per-host error").set(1);
+  metrics.gauge("err_rate", "error rate").set(0.5);
+  metrics.gauge("err", "total error").set(3);
+  const std::string text = metrics.to_prometheus();
+
+  std::size_t err_helps = 0, pos = 0;
+  while ((pos = text.find("# HELP err ", pos)) != std::string::npos) {
+    ++err_helps;
+    ++pos;
+  }
+  EXPECT_EQ(err_helps, 1u);
+  // Both err series sit in one contiguous block after their header.
+  const std::size_t header = text.find("# TYPE err gauge\n");
+  const std::size_t plain = text.find("\nerr 3\n");
+  const std::size_t labeled_series = text.find("err{host=\"0\"} 1\n");
+  const std::size_t other_header = text.find("# HELP err_rate ");
+  ASSERT_NE(header, std::string::npos);
+  ASSERT_NE(plain, std::string::npos);
+  ASSERT_NE(labeled_series, std::string::npos);
+  ASSERT_NE(other_header, std::string::npos);
+  EXPECT_LT(header, plain);
+  EXPECT_LT(header, labeled_series);
+  EXPECT_TRUE(other_header < header ||
+              (other_header > plain && other_header > labeled_series));
+}
+
+TEST(Metrics, EmptyHistogramExposesZeroedCumulativeBuckets) {
+  Metrics metrics;
+  metrics.histogram("cold_seconds", "never observed", 0.0, 1.0, 2);
+  const std::string text = metrics.to_prometheus();
+  EXPECT_NE(text.find("# TYPE cold_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("cold_seconds_bucket{le=\"0.5\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cold_seconds_bucket{le=\"1\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cold_seconds_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cold_seconds_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("cold_seconds_count 0\n"), std::string::npos);
+}
+
+TEST(Metrics, HistogramBucketsAreCumulativeAndOrdered) {
+  Metrics metrics;
+  HistogramMetric& histogram =
+      metrics.histogram("lat_seconds", "latency", 0.0, 4.0, 4);
+  // Boundary landing: a sample exactly on an inner edge goes to the upper
+  // bin ([lo, hi) bins), and out-of-range samples clamp into the edge bins.
+  histogram.observe(1.0);
+  histogram.observe(-5.0);
+  histogram.observe(99.0);
+  const std::string text = metrics.to_prometheus();
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"3\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"4\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  // Cumulative counts never decrease across ascending le.
+  std::vector<std::uint64_t> counts;
+  std::size_t pos = 0;
+  while ((pos = text.find("lat_seconds_bucket{le=", pos)) !=
+         std::string::npos) {
+    const std::size_t space = text.find(' ', pos);
+    counts.push_back(std::stoull(text.substr(space + 1)));
+    pos = space;
+  }
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(counts.begin(), counts.end()));
 }
 
 TEST(Metrics, DumpIsDeterministicallySorted) {

@@ -386,6 +386,151 @@ TEST_F(ServerTest, FullQueueShedsWithOverloadedError) {
   server.stop();
 }
 
+// --- request ids ------------------------------------------------------------
+
+TEST(ProtocolCodec, FrameWithIdSetsFlagAndCarriesBigEndianId) {
+  const std::string frame = encode_frame_with_id("body", 0x0102030405060708ull);
+  ASSERT_EQ(frame.size(), kFramePrefixBytes + kFrameIdBytes + 4);
+  // Prefix: length 4 with bit 31 set.
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[0]), 0x80);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[3]), 0x04);
+  // Big-endian id between prefix and body.
+  for (std::size_t i = 0; i < kFrameIdBytes; ++i)
+    EXPECT_EQ(static_cast<std::uint8_t>(frame[kFramePrefixBytes + i]), i + 1);
+  EXPECT_EQ(frame.substr(kFramePrefixBytes + kFrameIdBytes), "body");
+  // Unflagged framing is byte-identical to the pre-id protocol.
+  EXPECT_EQ(encode_frame("body")[0], '\0');
+}
+
+TEST(ProtocolCodec, StripTextRequestIdParsesAndEchoPreservesLine) {
+  std::string_view line = "#42 stats";
+  std::uint64_t id = 0;
+  ASSERT_TRUE(strip_text_request_id(line, id));
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(line, "stats");
+
+  line = "#7\tfleet-power";
+  ASSERT_TRUE(strip_text_request_id(line, id));
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(line, "fleet-power");
+
+  line = "#9";  // id alone: valid, empty remainder.
+  ASSERT_TRUE(strip_text_request_id(line, id));
+  EXPECT_EQ(id, 9u);
+  EXPECT_TRUE(line.empty());
+
+  // Rejections leave the line untouched.
+  for (const std::string_view bad :
+       {"stats", "#", "# 42 stats", "#x1 stats", "#42x stats",
+        "#99999999999999999999 stats"}) {
+    std::string_view untouched = bad;
+    EXPECT_FALSE(strip_text_request_id(untouched, id)) << bad;
+    EXPECT_EQ(untouched, bad);
+  }
+}
+
+TEST_F(TransportTest, BinaryIdIsEchoedInTheResponseFrame) {
+  InProcessTransport transport(engine_, &metrics_);
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  const std::string frame = transport.roundtrip_binary(
+      encode_frame_with_id(encode_request(request), 0xdeadbeefull));
+
+  std::uint32_t prefix = 0;
+  for (std::size_t i = 0; i < kFramePrefixBytes; ++i)
+    prefix = (prefix << 8) | static_cast<std::uint8_t>(frame[i]);
+  ASSERT_TRUE(prefix & kFrameIdFlag);
+  std::uint64_t echoed = 0;
+  for (std::size_t i = 0; i < kFrameIdBytes; ++i)
+    echoed = (echoed << 8) |
+             static_cast<std::uint8_t>(frame[kFramePrefixBytes + i]);
+  EXPECT_EQ(echoed, 0xdeadbeefull);
+  const auto response = decode_response(std::string_view(frame).substr(
+      kFramePrefixBytes + kFrameIdBytes));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok);
+}
+
+TEST_F(TransportTest, TextIdIsEchoedAsFirstToken) {
+  InProcessTransport transport(engine_, &metrics_);
+  EXPECT_EQ(transport.roundtrip_text("#31 fleet-power"), "#31 OK 24 72");
+  // Errors echo too, and an id-less line stays id-less.
+  EXPECT_EQ(transport.roundtrip_text("#32 gibberish"),
+            "#32 ERR 1 unparseable request");
+  EXPECT_EQ(transport.roundtrip_text("fleet-power"), "OK 24 72");
+}
+
+TEST_F(TransportTest, RequestIdDoesNotSplitTheResultCache) {
+  InProcessTransport transport(engine_, &metrics_);
+  (void)transport.roundtrip_text("#1 fleet-power");
+  (void)transport.roundtrip_text("#2 fleet-power");
+  (void)transport.roundtrip_text("fleet-power");
+  // One miss filled the cache; the differently-id'd repeats all hit.
+  EXPECT_EQ(engine_.cache_misses(), 1u);
+  EXPECT_EQ(engine_.cache_hits(), 2u);
+}
+
+TEST_F(TransportTest, MetricsAndTraceCommandsReturnEofTerminatedPayloads) {
+  InProcessTransport transport(engine_, &metrics_);
+  metrics_.counter("vmpower_test_counter_total", "test").inc();
+  const std::string metrics_payload = transport.roundtrip_text("METRICS");
+  EXPECT_NE(metrics_payload.find("# TYPE vmpower_test_counter_total counter"),
+            std::string::npos);
+  EXPECT_EQ(metrics_payload.substr(metrics_payload.size() -
+                                   std::string(kScrapeEof).size()),
+            kScrapeEof);
+
+  const std::string trace_payload = transport.roundtrip_text("TRACE");
+  EXPECT_NE(trace_payload.find(kScrapeEof), std::string::npos);
+  EXPECT_NE(metrics_.to_prometheus().find(
+                "vmpower_serve_scrapes_total{command=\"metrics\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, IdFlaggedBinaryFramesRoundTripOverTcp) {
+  Server server(engine_, metrics_, quick_options());
+  Client client(server.port());
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  // The flagged prefix's first byte is 0x80: the sniff must still route the
+  // connection to the binary handler, and the echo must match.
+  const Response response = client.query_with_id(request, 77);
+  ASSERT_TRUE(response.ok);
+  EXPECT_DOUBLE_EQ(response.values.at(0), 72.0);
+  // Mixed traffic on one connection: unflagged frames still work after.
+  EXPECT_TRUE(client.query(request).ok);
+  server.stop();
+}
+
+TEST_F(ServerTest, TextIdsEchoOnRepliesAndShedsOverTcp) {
+  ServerOptions options = quick_options();
+  options.tokens_per_s = 0.0;  // burst only: the bucket never refills.
+  options.token_burst = 2.0;
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+  EXPECT_EQ(client.query_text("#5 fleet-power"), "#5 OK 24 72");
+  (void)client.query_text("#6 fleet-power");  // drains the bucket.
+  // The shed path never reaches the dispatcher, yet still echoes the id.
+  EXPECT_EQ(client.query_text("#7 fleet-power"),
+            "#7 ERR 8 client exceeded its request rate");
+  server.stop();
+}
+
+TEST_F(ServerTest, MetricsScrapeOverTcpIsExpositionShaped) {
+  Server server(engine_, metrics_, quick_options());
+  Client client(server.port());
+  const std::string payload = client.scrape("METRICS");
+  EXPECT_NE(payload.find("# HELP "), std::string::npos);
+  EXPECT_NE(payload.find("# TYPE "), std::string::npos);
+  // The terminator was consumed, not included.
+  EXPECT_EQ(payload.find(kScrapeEof), std::string::npos);
+  // The scrape itself was counted, so a second scrape sees the counter.
+  const std::string again = client.scrape("METRICS");
+  EXPECT_NE(again.find("vmpower_serve_scrapes_total{command=\"metrics\"}"),
+            std::string::npos);
+  server.stop();
+}
+
 TEST_F(ServerTest, ServerOptionsValidation) {
   ServerOptions bad;
   bad.workers = 0;

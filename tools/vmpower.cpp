@@ -36,11 +36,20 @@
 //       send one query (binary protocol; --proto text for the line
 //       protocol) and print the response line.
 //
+//   vmpower trace --out trace.jsonl
+//       run a short traced fleet + query workload and dump the span ring as
+//       Chrome trace-event JSONL (chrome://tracing, Perfetto).
+//
+//   vmpower scrape --port 7077 [--what metrics|trace]
+//       pull a Prometheus exposition (or trace JSONL) from a running
+//       `vmpower serve` over its text protocol.
+//
 // Fleet syntax: comma-separated Table IV type names (VM1..VM4). The machine
 // is the calibrated Xeon prototype (--machine pentium for the desktop).
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -53,10 +62,12 @@
 #include "core/serialization.hpp"
 #include "core/pricing.hpp"
 #include "fleet/engine.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/query.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
+#include "serve/transport.hpp"
 #include "sim/physical_machine.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -78,16 +89,19 @@ commands:
           [--seed N] [--tariff $/kWh] [--collect-duration S]
           [--inject-faults meter:P,dropout:P,stale:P] [--max-retries N]
           [--backpressure block|drop-oldest] [--queue-capacity N]
-          [--checkpoint FILE] [--metrics FILE]
+          [--checkpoint FILE] [--metrics FILE] [--trace] [--trace-out FILE]
   serve   --fleet VM1,... [--hosts N] [--threads T] [--duration S] [--tenants K]
           [--port P] [--workers W] [--linger S] [--retention N]
           [--request-queue N] [--tokens-per-s R] [--burst B]
           [--offpeak-rate $/kWh] [--peak-rate $/kWh] [--peak-hours H0-H1]
           [--seconds-per-hour S] [--seed N] [--collect-duration S]
-          [--metrics FILE]
-  query   --port P [--proto binary|text] <verb> [args...]
+          [--metrics FILE] [--trace] [--trace-out FILE]
+  query   --port P [--proto binary|text] [--id N] <verb> [args...]
           verbs: vm-power H V | tenant-power T | fleet-power | stats
                  vm-energy H V T0 T1 | tenant-energy T T0 T1 | tenant-cost T T0 T1
+  trace   [--fleet VM1,...] [--hosts N] [--duration TICKS] [--out FILE]
+          [--seed N] [--collect-duration S]
+  scrape  --port P [--what metrics|trace] [--out FILE]
 )";
 
 sim::MachineSpec machine_for(const util::CliArgs& args) {
@@ -117,6 +131,24 @@ std::vector<common::VmConfig> fleet_for(const util::CliArgs& args) {
   }
   if (fleet.empty()) throw std::invalid_argument("--fleet is empty");
   return fleet;
+}
+
+/// Arms the global tracer when --trace or --trace-out is given; returns
+/// whether a dump was requested.
+bool arm_tracer(const util::CliArgs& args) {
+  const bool armed = args.has("trace") || args.has("trace-out");
+  if (armed) obs::Tracer::global().set_enabled(true);
+  return args.has("trace-out");
+}
+
+void dump_trace(const util::CliArgs& args) {
+  const std::string path = args.require("trace-out");
+  const obs::Tracer& tracer = obs::Tracer::global();
+  tracer.write_chrome_jsonl(path);
+  std::printf("trace: %zu spans (%llu overwritten) written to %s\n",
+              tracer.size(),
+              static_cast<unsigned long long>(tracer.dropped()),
+              path.c_str());
 }
 
 /// Boots the fleet under a SPEC-like mix and returns (machine, vm ids).
@@ -273,6 +305,7 @@ int cmd_fleet(const util::CliArgs& args) {
                 static_cast<unsigned long long>(engine.tick()));
   }
 
+  const bool dump = arm_tracer(args);
   const auto ticks =
       static_cast<std::uint64_t>(args.get_double("duration", 60.0));
   std::printf("online: metering %zu hosts x %zu VMs on %zu threads for %llu "
@@ -315,6 +348,7 @@ int cmd_fleet(const util::CliArgs& args) {
     engine.metrics().write_prometheus(metrics_path);
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
+  if (dump) dump_trace(args);
   return 0;
 }
 
@@ -374,6 +408,7 @@ int cmd_serve(const util::CliArgs& args) {
   serve::QueryEngine queries(store, query_options);
   serve::Server server(queries, engine.metrics(), server_options);
 
+  const bool dump = arm_tracer(args);
   const auto ticks =
       static_cast<std::uint64_t>(args.get_double("duration", 300.0));
   std::printf("serving on 127.0.0.1:%u while metering %zu hosts for %llu "
@@ -398,6 +433,7 @@ int cmd_serve(const util::CliArgs& args) {
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   server.stop();
+  if (dump) dump_trace(args);
   return 0;
 }
 
@@ -416,17 +452,108 @@ int cmd_query(const util::CliArgs& args) {
   const std::string proto = args.get("proto", "binary");
   if (proto != "binary" && proto != "text")
     throw std::invalid_argument("query: --proto must be binary or text");
+  const bool with_id = args.has("id");
+  const auto request_id =
+      with_id ? static_cast<std::uint64_t>(args.get_long("id", 0)) : 0;
   serve::Client client(port);
   std::string response;
   if (proto == "text") {
-    response = client.query_text(line);
+    response = client.query_text(
+        with_id ? "#" + std::to_string(request_id) + " " + line : line);
   } else {
     const auto request = serve::parse_request_text(line);
     if (!request)
       throw std::invalid_argument("query: unparseable query '" + line + "'");
-    response = serve::format_response_text(client.query(*request));
+    response = serve::format_response_text(
+        with_id ? client.query_with_id(*request, request_id)
+                : client.query(*request));
   }
   std::printf("%s\n", response.c_str());
+  return 0;
+}
+
+int cmd_trace(const util::CliArgs& args) {
+#if !VMPOWER_TRACING_COMPILED
+  std::fprintf(stderr,
+               "vmpower trace: built with -DVMPOWER_TRACING=OFF; the span "
+               "macros are compiled out and the ring will stay empty\n");
+#endif
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+
+  fleet::FleetOptions options;
+  if (args.has("fleet")) {
+    options.fleet_per_host = fleet_for(args);
+  } else {
+    const auto catalogue = common::paper_vm_catalogue();
+    options.fleet_per_host = {catalogue[0], catalogue[1]};
+  }
+  options.hosts = static_cast<std::size_t>(args.get_long("hosts", 2));
+  options.threads = 2;
+  options.tenants = 2;
+  options.spec = machine_for(args);
+  options.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  options.validate();
+
+  core::CollectionOptions collect;
+  collect.duration_s = args.get_double("collect-duration", 30.0);
+  collect.seed = options.seed;
+  const auto dataset = core::collect_offline_dataset(
+      options.spec, options.fleet_per_host, collect);
+
+  fleet::FleetEngine engine(options, dataset);
+  serve::SnapshotStore store(1024);
+  store.attach(engine);
+  serve::QueryEngineOptions query_options;
+  query_options.metrics = &engine.metrics();
+  serve::QueryEngine queries(store, query_options);
+  serve::Dispatcher dispatcher(queries, &engine.metrics());
+
+  const auto ticks =
+      static_cast<std::uint64_t>(args.get_double("duration", 16.0));
+  engine.run(ticks);
+
+  // Exercise the serve path in-process so one dump spans all three layers
+  // (core.estimate / fleet.tick / serve.parse and friends).
+  const auto stats = serve::parse_request_text("stats");
+  (void)dispatcher.handle_binary(serve::encode_request(*stats), 1001);
+  (void)dispatcher.handle_text("#1002 fleet-power");
+  (void)dispatcher.handle_text("tenant-power 1");
+
+  if (args.has("out")) {
+    const std::string out = args.require("out");
+    tracer.write_chrome_jsonl(out);
+    std::printf("trace: %zu spans over %llu ticks written to %s\n",
+                tracer.size(), static_cast<unsigned long long>(ticks),
+                out.c_str());
+  } else {
+    std::fputs(tracer.to_chrome_jsonl().c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_scrape(const util::CliArgs& args) {
+  const auto port =
+      static_cast<std::uint16_t>(std::stoul(args.require("port")));
+  const std::string what = args.get("what", "metrics");
+  std::string command;
+  if (what == "metrics") command = "METRICS";
+  else if (what == "trace") command = "TRACE";
+  else
+    throw std::invalid_argument("scrape: --what must be metrics or trace");
+  serve::Client client(port);
+  const std::string payload = client.scrape(command);
+  if (args.has("out")) {
+    const std::string out = args.require("out");
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    if (!file || !(file << payload).flush())
+      throw std::runtime_error("scrape: cannot write " + out);
+    std::printf("%s scrape (%zu bytes) written to %s\n", what.c_str(),
+                payload.size(), out.c_str());
+  } else {
+    std::fputs(payload.c_str(), stdout);
+  }
   return 0;
 }
 
@@ -459,6 +586,8 @@ int main(int argc, char** argv) {
     if (command == "fleet") return cmd_fleet(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "query") return cmd_query(args);
+    if (command == "trace") return cmd_trace(args);
+    if (command == "scrape") return cmd_scrape(args);
     std::fputs(kUsage, command.empty() ? stdout : stderr);
     return command.empty() ? 0 : 2;
   } catch (const std::exception& error) {
