@@ -103,7 +103,15 @@ VhcComboMask ShapleyVhcEstimator::prepare_tick(std::span<const VmSample> vms) {
 
 double ShapleyVhcEstimator::worth_from(
     VhcComboMask combo, std::span<const common::StateVector> aggregated) {
+  CompEntry ignored;
+  return worth_recorded(combo, aggregated, ignored);
+}
+
+double ShapleyVhcEstimator::worth_recorded(
+    VhcComboMask combo, std::span<const common::StateVector> aggregated,
+    CompEntry& entry) {
   ++worth_queries_;
+  entry.status = kCompMiss;
   if (table_.has_value()) {
     // Fig. 8's lookup-first path, memoized across ticks: the table's answer
     // is a pure function of (combo, quantized aggregate), so identical
@@ -128,6 +136,8 @@ double ShapleyVhcEstimator::worth_from(
     }
     if (it->second.hit) {
       ++table_hits_;
+      entry.status = kCompHit;
+      entry.value = it->second.value;
       return it->second.value;
     }
     // Known miss: fall through to the approximation on the exact states.
@@ -189,6 +199,30 @@ std::vector<double> ShapleyVhcEstimator::estimate_collapsed(
     gstate_[g] = states_[rep];
   }
 
+  // Per-composition memo validity: the table outcome of every composition
+  // is fixed by (group sizes, VHCs, idle bits, exact representative
+  // states), so a matching signature lets this tick replay last tick's
+  // outcomes by index instead of re-probing the quantized-key map.
+  const bool use_memo = table_.has_value();
+  bool memo_valid = false;
+  if (use_memo) {
+    comp_sig_scratch_.clear();
+    append_raw(comp_sig_scratch_, &r, sizeof(r));
+    for (std::size_t g = 0; g < r; ++g) {
+      append_raw(comp_sig_scratch_, &gsize_[g], sizeof(gsize_[g]));
+      append_raw(comp_sig_scratch_, &gvhc_[g], sizeof(gvhc_[g]));
+      append_raw(comp_sig_scratch_, &gbit_[g], sizeof(gbit_[g]));
+      const auto values = gstate_[g].values();
+      append_raw(comp_sig_scratch_, values.data(), values.size_bytes());
+    }
+    memo_valid =
+        comp_memo_.size() == comps && comp_sig_scratch_ == comp_sig_;
+    if (!memo_valid) {
+      comp_sig_.swap(comp_sig_scratch_);
+      comp_memo_.assign(comps, CompEntry{});
+    }
+  }
+
   // One worth evaluation per composition — Π (g_size + 1) instead of 2^n.
   worth_.resize(comps);
   agg_.resize(num_vhcs);
@@ -198,6 +232,14 @@ std::vector<double> ShapleyVhcEstimator::estimate_collapsed(
       // The full composition is the grand coalition: anchored to the
       // measurement, never queried (exactly like the mask path).
       worth_[idx] = adjusted_power_w;
+    } else if (memo_valid && comp_memo_[idx].status == kCompHit) {
+      // Replayed table hit: same counters as a fresh probe, but no
+      // aggregate build and no key construction at all.
+      ++worth_queries_;
+      ++table_hits_;
+      worth_[idx] = comp_memo_[idx].value;
+    } else if (memo_valid && comp_memo_[idx].status == kCompZero) {
+      worth_[idx] = 0.0;  // every included group was idle.
     } else {
       VhcComboMask combo = 0;
       std::fill(agg_.begin(), agg_.end(), common::StateVector::zero());
@@ -206,7 +248,19 @@ std::vector<double> ShapleyVhcEstimator::estimate_collapsed(
         combo |= gbit_[g];
         agg_[gvhc_[g]] += gstate_[g] * static_cast<double>(comp_k_[g]);
       }
-      worth_[idx] = combo == 0 ? 0.0 : worth_from(combo, agg_);
+      if (combo == 0) {
+        worth_[idx] = 0.0;
+        if (use_memo) comp_memo_[idx].status = kCompZero;
+      } else if (memo_valid) {
+        // Remembered miss: skip the probe, straight to the approximation
+        // (identical states, so the probe could only miss again).
+        ++worth_queries_;
+        worth_[idx] = combo_weights_.predict(combo, agg_);
+      } else if (use_memo) {
+        worth_[idx] = worth_recorded(combo, agg_, comp_memo_[idx]);
+      } else {
+        worth_[idx] = worth_from(combo, agg_);
+      }
     }
     for (std::size_t g = 0; g < r; ++g) {
       if (++comp_k_[g] <= gsize_[g]) break;

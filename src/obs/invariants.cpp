@@ -23,7 +23,7 @@ InvariantMonitor::InvariantMonitor(MetricsRegistry& registry,
 std::uint64_t InvariantMonitor::breaches() const noexcept {
   std::uint64_t total = 0;
   for (const char* invariant :
-       {"efficiency", "table_hit_rate", "queue", "ring"})
+       {"efficiency", "table_hit_rate", "queue", "ring", "serve_exactly_once"})
     total += registry_
                  .counter(labeled("vmpower_invariant_breaches_total",
                                   {{"invariant", invariant}}),
@@ -115,6 +115,25 @@ void InvariantMonitor::observe_queue(const char* queue, std::uint64_t epoch,
                " watermark=" + std::to_string(watermark) +
                " capacity=" + std::to_string(capacity) +
                " newly_shed=" + std::to_string(newly_shed));
+}
+
+void InvariantMonitor::observe_serve_accounting(std::uint64_t epoch,
+                                                std::uint64_t admitted,
+                                                std::uint64_t answered,
+                                                std::uint64_t outstanding) {
+  registry_
+      .gauge("vmpower_serve_outstanding",
+             "Admitted requests not yet answered (queued or on a worker)")
+      .set(static_cast<double>(outstanding));
+  const std::string detail = "admitted=" + std::to_string(admitted) +
+                             " answered=" + std::to_string(answered) +
+                             " outstanding=" + std::to_string(outstanding);
+  if (answered > admitted)
+    breach(kServeAccounting, "serve_exactly_once", epoch,
+           detail + " (a request was answered more than once)");
+  else if (outstanding == 0 && answered < admitted)
+    breach(kServeAccounting, "serve_exactly_once", epoch,
+           detail + " (a request was admitted but never answered)");
 }
 
 void InvariantMonitor::observe_ring(std::uint64_t epoch,

@@ -66,6 +66,17 @@ class InvariantMonitor {
   void observe_ring(std::uint64_t epoch, std::uint64_t occupancy,
                     std::uint64_t retention, std::uint64_t evictions_total);
 
+  /// Serve-layer exactly-once response accounting (Server::admitted() /
+  /// answered() / outstanding()): every request read off a connection —
+  /// sheds, ordered holds and out-of-order completions alike — must produce
+  /// exactly one response. Any response surplus, or a deficit while nothing
+  /// is in flight, means a request id was answered twice or dropped. A
+  /// deficit *with* outstanding work is normal pipelining and only exported,
+  /// never warned.
+  void observe_serve_accounting(std::uint64_t epoch, std::uint64_t admitted,
+                                std::uint64_t answered,
+                                std::uint64_t outstanding);
+
   /// Total threshold breaches across all invariants (the sum of the
   /// vmpower_invariant_breaches_total series).
   [[nodiscard]] std::uint64_t breaches() const noexcept;
@@ -76,6 +87,7 @@ class InvariantMonitor {
     kTableHitRate,
     kQueue,
     kRing,
+    kServeAccounting,
     kWhichCount,
   };
 

@@ -105,8 +105,16 @@ std::string Client::recv_line() {
   }
 }
 
-Response Client::query(const Request& request) {
+void Client::send_query(const Request& request) {
   send_raw(encode_frame(encode_request(request)));
+}
+
+void Client::send_query_with_id(const Request& request,
+                                std::uint64_t request_id) {
+  send_raw(encode_frame_with_id(encode_request(request), request_id));
+}
+
+Response Client::recv_response() {
   const std::string frame = recv_frame();
   const auto response =
       decode_response(std::string_view(frame).substr(kFramePrefixBytes));
@@ -115,9 +123,7 @@ Response Client::query(const Request& request) {
   return *response;
 }
 
-Response Client::query_with_id(const Request& request,
-                               std::uint64_t request_id) {
-  send_raw(encode_frame_with_id(encode_request(request), request_id));
+std::pair<std::uint64_t, Response> Client::recv_response_with_id() {
   const std::string frame = recv_frame();
   std::string_view bytes{frame};
   std::uint32_t raw = 0;
@@ -129,13 +135,25 @@ Response Client::query_with_id(const Request& request,
   for (std::size_t i = 0; i < kFrameIdBytes; ++i)
     echoed = (echoed << 8) |
              static_cast<std::uint8_t>(bytes[kFramePrefixBytes + i]);
-  if (echoed != request_id)
-    throw std::runtime_error("serve client: response echoed wrong request id");
   const auto response = decode_response(
       bytes.substr(kFramePrefixBytes + kFrameIdBytes));
   if (!response)
     throw std::runtime_error("serve client: undecodable response body");
-  return *response;
+  return {echoed, *response};
+}
+
+Response Client::query(const Request& request) {
+  send_query(request);
+  return recv_response();
+}
+
+Response Client::query_with_id(const Request& request,
+                               std::uint64_t request_id) {
+  send_query_with_id(request, request_id);
+  const auto [echoed, response] = recv_response_with_id();
+  if (echoed != request_id)
+    throw std::runtime_error("serve client: response echoed wrong request id");
+  return response;
 }
 
 std::string Client::query_text(const std::string& line) {

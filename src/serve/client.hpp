@@ -1,15 +1,18 @@
 // Minimal blocking loopback client for the query service.
 //
 // One Client speaks one protocol per connection (the server sniffs the mode
-// from the first byte), awaiting each response before the next request —
-// which also sidesteps the completion-order caveat documented in server.hpp.
-// The raw send/receive helpers exist so the protocol-robustness tests can
-// inject garbage, truncated frames, and mid-request disconnects.
+// from the first byte). The query_* helpers await each response before the
+// next request; the send_/recv_ pairs pipeline — stamp an id on every
+// pipelined request, because the server completes id-carrying requests out
+// of order (see server.hpp) and the echoed id is the only correlation
+// handle. The raw send/receive helpers exist so the protocol-robustness
+// tests can inject garbage, truncated frames, and mid-request disconnects.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "serve/protocol.hpp"
 
@@ -40,6 +43,17 @@ class Client {
   /// Multi-line text command ("METRICS" / "TRACE"): returns every line up to
   /// — not including — the "# EOF" terminator, newline-separated.
   [[nodiscard]] std::string scrape(const std::string& command);
+
+  /// Pipelining: sends one binary request without awaiting the response.
+  void send_query(const Request& request);
+  /// Pipelining with correlation: sends one id-stamped binary request.
+  void send_query_with_id(const Request& request, std::uint64_t request_id);
+  /// Receives the next id-less binary response (arrival order).
+  [[nodiscard]] Response recv_response();
+  /// Receives the next id-flagged binary response in whatever order the
+  /// server completed it; the echoed id tells the caller which request it
+  /// answers. Throws std::runtime_error on an id-less or undecodable frame.
+  [[nodiscard]] std::pair<std::uint64_t, Response> recv_response_with_id();
 
   /// Raw escape hatches for robustness tests.
   void send_raw(std::string_view bytes);

@@ -34,6 +34,37 @@ const std::shared_ptr<const Snapshot>& genesis_baseline() {
 QueryEngine::QueryEngine(const SnapshotStore& store, QueryEngineOptions options)
     : store_(store), options_(std::move(options)) {
   options_.tou.validate();
+  const std::size_t shard_count =
+      options_.cache_shards == 0 ? 1 : options_.cache_shards;
+  shard_capacity_ =
+      options_.cache_capacity == 0
+          ? 0
+          : (options_.cache_capacity + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (options_.metrics && shard_capacity_ > 0) {
+      const std::string label = "{shard=\"" + std::to_string(i) + "\"}";
+      shard->hits = &options_.metrics->counter(
+          "vmpower_serve_cache_shard_hits_total" + label,
+          "Result-cache lookup hits in this shard");
+      shard->misses = &options_.metrics->counter(
+          "vmpower_serve_cache_shard_misses_total" + label,
+          "Result-cache lookup misses in this shard");
+    }
+    shards_.push_back(std::move(shard));
+  }
+  if (options_.metrics) {
+    hits_counter_ = &options_.metrics->counter(
+        "vmpower_serve_cache_hits_total", "Result-cache hits");
+    misses_counter_ = &options_.metrics->counter(
+        "vmpower_serve_cache_misses_total", "Result-cache misses");
+    evictions_counter_ = &options_.metrics->counter(
+        "vmpower_serve_cache_evictions_total", "Result-cache LRU evictions");
+    coalesced_counter_ = &options_.metrics->counter(
+        "vmpower_serve_coalesced_total",
+        "Queries attached to an identical in-flight computation");
+  }
 }
 
 Response QueryEngine::execute(const Request& request) {
@@ -51,10 +82,8 @@ Response QueryEngine::execute(const Request& request) {
     const std::string key =
         request.canonical() + "@" + std::to_string(latest->epoch);
     if (cache_lookup(key, cached)) return note_hit(cached);
-    note_miss();
-    Response response = evaluate(request, nullptr, latest);
-    cache_insert(key, response);
-    return response;
+    return compute(key, nullptr,
+                   [&] { return evaluate(request, nullptr, latest); });
   }
 
   if (!std::isfinite(request.t0) || !std::isfinite(request.t1) ||
@@ -101,28 +130,89 @@ Response QueryEngine::execute(const Request& request) {
     cache_insert(fast_key, cached);  // re-arm the fast path at this epoch.
     return note_hit(cached);
   }
+  return compute(key, &fast_key, [&] { return evaluate(request, s0, s1); });
+}
+
+Response QueryEngine::compute(const std::string& key,
+                              const std::string* fast_key,
+                              const std::function<Response()>& eval) {
+  if (!options_.coalesce) {
+    note_miss();
+    const Response response = eval();
+    cache_insert(key, response);
+    if (fast_key) cache_insert(*fast_key, response);
+    return response;
+  }
+
+  Shard& shard = shard_for(key);
+  Response cached;
+  std::shared_ptr<Inflight> flight;
+  switch (probe(shard, key, cached, flight)) {
+    case Probe::kHit:
+      // A leader published between our unlocked lookup and this probe.
+      if (fast_key) cache_insert(*fast_key, cached);
+      return note_hit(cached);
+    case Probe::kJoin: {
+      std::unique_lock lock(flight->mutex);
+      flight->cv.wait(lock, [&] { return flight->done; });
+      Response response = flight->response;
+      lock.unlock();
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (coalesced_counter_) coalesced_counter_->inc();
+      // The answer is valid for this follower's own latest epoch too (same
+      // durable key means the same resolved pair), so re-arming is safe.
+      if (fast_key) cache_insert(*fast_key, response);
+      return response;
+    }
+    case Probe::kLead:
+      break;
+  }
+
   note_miss();
-  Response response = evaluate(request, s0, s1);
+  if (options_.coalesce_hold) options_.coalesce_hold();
+  const Response response = eval();
   cache_insert(key, response);
-  cache_insert(fast_key, response);
+  if (fast_key) cache_insert(*fast_key, response);
+  {
+    std::lock_guard lock(flight->mutex);
+    flight->done = true;
+    flight->response = response;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.inflight.erase(key);
+  }
   return response;
+}
+
+QueryEngine::Probe QueryEngine::probe(Shard& shard, const std::string& key,
+                                      Response& out,
+                                      std::shared_ptr<Inflight>& flight) {
+  std::lock_guard lock(shard.mutex);
+  if (shard_capacity_ > 0) {
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch.
+      out = it->second->response;
+      return Probe::kHit;
+    }
+  }
+  auto [it, inserted] = shard.inflight.try_emplace(key);
+  if (inserted) it->second = std::make_shared<Inflight>();
+  flight = it->second;
+  return inserted ? Probe::kLead : Probe::kJoin;
 }
 
 Response QueryEngine::note_hit(const Response& response) {
   hits_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.metrics)
-    options_.metrics
-        ->counter("vmpower_serve_cache_hits_total", "Result-cache hits")
-        .inc();
+  if (hits_counter_) hits_counter_->inc();
   return response;
 }
 
 void QueryEngine::note_miss() {
   misses_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.metrics)
-    options_.metrics
-        ->counter("vmpower_serve_cache_misses_total", "Result-cache misses")
-        .inc();
+  if (misses_counter_) misses_counter_->inc();
 }
 
 Response QueryEngine::evaluate(
@@ -211,31 +301,37 @@ Response QueryEngine::evaluate(
   return Response::error(ErrorCode::kUnknownQuery, "unhandled query kind");
 }
 
+QueryEngine::Shard& QueryEngine::shard_for(const std::string& key) noexcept {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
 bool QueryEngine::cache_lookup(const std::string& key, Response& out) {
-  if (options_.cache_capacity == 0) return false;
-  std::lock_guard lock(cache_mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second);  // touch.
+  if (shard_capacity_ == 0) return false;
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    if (shard.misses) shard.misses->inc();
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch.
   out = it->second->response;
+  if (shard.hits) shard.hits->inc();
   return true;
 }
 
 void QueryEngine::cache_insert(const std::string& key,
                                const Response& response) {
-  if (options_.cache_capacity == 0) return;
-  std::lock_guard lock(cache_mutex_);
-  if (index_.contains(key)) return;  // raced with another worker; keep first.
-  lru_.push_front(CacheEntry{key, response});
-  index_[key] = lru_.begin();
-  if (lru_.size() > options_.cache_capacity) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    if (options_.metrics)
-      options_.metrics
-          ->counter("vmpower_serve_cache_evictions_total",
-                    "Result-cache LRU evictions")
-          .inc();
+  if (shard_capacity_ == 0) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  if (shard.index.contains(key)) return;  // raced with another worker; keep first.
+  shard.lru.push_front(CacheEntry{key, response});
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    if (evictions_counter_) evictions_counter_->inc();
   }
 }
 

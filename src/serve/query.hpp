@@ -1,4 +1,5 @@
-// Query evaluation over snapshots, fronted by an epoch-keyed LRU cache.
+// Query evaluation over snapshots, fronted by a sharded epoch-keyed LRU
+// cache with in-flight coalescing.
 //
 // Point queries read the latest snapshot; window queries difference
 // cumulative energy between the two retained snapshots bracketing [t0, t1]
@@ -17,13 +18,32 @@
 // window resolves to the same pair, so repeat hits skip the retention-ring
 // searches entirely and only the first hit after a publish re-resolves.
 // Capacity 0 disables caching.
+//
+// Two concurrency multipliers sit on the miss path:
+//
+//  * Sharding: keys hash to one of `cache_shards` independent shards, each
+//    with its own mutex + LRU, so a worker pool stops serializing on a
+//    single cache lock. Capacity splits evenly across shards (rounded up),
+//    which makes eviction per-shard LRU, not global LRU — workloads that
+//    assert exact global eviction order should configure one shard.
+//
+//  * Coalescing: a query whose cache key matches a computation already in
+//    flight attaches to it instead of re-evaluating. Followers receive the
+//    leader's Response through the shared in-flight slot — never by
+//    re-reading the cache — so an entry evicted between the leader's insert
+//    and a follower's wakeup cannot cost the follower its answer.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/pricing.hpp"
 #include "fleet/metrics.hpp"
@@ -33,11 +53,22 @@
 namespace vmp::serve {
 
 struct QueryEngineOptions {
-  std::size_t cache_capacity = 1024;  ///< 0 disables the result cache.
+  std::size_t cache_capacity = 1024;  ///< total across shards; 0 disables.
+  /// Result-cache shard count, clamped to >= 1. Each shard holds
+  /// ceil(capacity / shards) entries behind its own lock.
+  std::size_t cache_shards = 8;
+  /// Attach identical in-flight queries to the running computation instead
+  /// of re-evaluating (effective even at capacity 0).
+  bool coalesce = true;
   /// Tariff for kTenantCost; the default is flat at the Table I US rate.
   core::TouRateSchedule tou{};
-  /// When set, cache hits/misses/evictions are exported as counters.
+  /// When set, cache hits/misses/evictions, per-shard lookup outcomes and
+  /// coalesced attachments are exported as counters.
   fleet::Metrics* metrics = nullptr;
+  /// Test hook: runs on the computing (leader) thread after it has claimed
+  /// the in-flight slot and before it evaluates, so tests can hold a
+  /// computation open while followers attach. Null in production.
+  std::function<void()> coalesce_hold;
 };
 
 class QueryEngine {
@@ -56,33 +87,79 @@ class QueryEngine {
   [[nodiscard]] std::uint64_t cache_misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Queries that attached to an identical in-flight computation. Counted as
+  /// neither hit nor miss, so cache_misses() == evaluations actually run.
+  [[nodiscard]] std::uint64_t coalesced() const noexcept {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
 
  private:
+  /// One computation in flight. Followers block on `cv` and read `response`
+  /// directly — never the cache — so eviction cannot race an attached
+  /// waiter out of its answer.
+  struct Inflight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+
+  // Per-shard LRU: list front = most recent; map points into the list. The
+  // in-flight table shares the shard lock so "cache miss, computation
+  // already running" is one atomic decision.
+  struct CacheEntry {
+    std::string key;
+    Response response;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<CacheEntry> lru;
+    std::unordered_map<std::string, std::list<CacheEntry>::iterator> index;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
+    fleet::Counter* hits = nullptr;    ///< per-shard lookup outcomes; null
+    fleet::Counter* misses = nullptr;  ///< without metrics.
+  };
+  enum class Probe { kHit, kLead, kJoin };
+
   [[nodiscard]] Response evaluate(const Request& request,
                                   const std::shared_ptr<const Snapshot>& s0,
                                   const std::shared_ptr<const Snapshot>& s1)
       const;
 
   /// Hit/miss accounting lives in note_hit/note_miss so a window query that
-  /// misses its fast key but hits its epoch-pair key counts once.
+  /// misses its fast key but hits its epoch-pair key counts once. Per-shard
+  /// counters instead record every lookup outcome, which is what a per-shard
+  /// hit *rate* needs.
   Response note_hit(const Response& response);
   void note_miss();
+  [[nodiscard]] Shard& shard_for(const std::string& key) noexcept;
   bool cache_lookup(const std::string& key, Response& out);
   void cache_insert(const std::string& key, const Response& response);
+  /// One locked probe of the final cache key: hit (a leader published since
+  /// our unlocked lookup), join an in-flight computation, or claim
+  /// leadership of a new one.
+  Probe probe(Shard& shard, const std::string& key, Response& out,
+              std::shared_ptr<Inflight>& flight);
+  /// Shared miss path: coalesce-aware compute + insert. `fast_key`, when
+  /// non-null, re-arms the window fast path alongside the durable entry.
+  Response compute(const std::string& key, const std::string* fast_key,
+                   const std::function<Response()>& eval);
 
   const SnapshotStore& store_;
   QueryEngineOptions options_;
-
-  // LRU: list front = most recent; map points into the list.
-  struct CacheEntry {
-    std::string key;
-    Response response;
-  };
-  std::mutex cache_mutex_;
-  std::list<CacheEntry> lru_;
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> index_;
+  std::size_t shard_capacity_ = 0;  ///< per shard; 0 disables caching.
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  // Aggregate counters resolved once so the hot path skips the registry.
+  fleet::Counter* hits_counter_ = nullptr;
+  fleet::Counter* misses_counter_ = nullptr;
+  fleet::Counter* evictions_counter_ = nullptr;
+  fleet::Counter* coalesced_counter_ = nullptr;
 };
 
 }  // namespace vmp::serve

@@ -44,6 +44,20 @@ bool send_fully(int fd, std::string_view bytes) {
   return true;
 }
 
+/// Matches the requests ServerOptions::cost_query_delay stalls: binary
+/// bodies open with the opcode byte, text lines with the verb (after any
+/// "#<id>" token).
+bool is_cost_query(const std::string& payload, bool binary) {
+  if (binary)
+    return !payload.empty() &&
+           static_cast<std::uint8_t>(payload.front()) ==
+               static_cast<std::uint8_t>(QueryKind::kTenantCost);
+  std::string_view line{payload};
+  std::uint64_t ignored = 0;
+  (void)strip_text_request_id(line, ignored);
+  return line.substr(0, 11) == "tenant-cost";
+}
+
 }  // namespace
 
 void ServerOptions::validate() const {
@@ -86,6 +100,15 @@ Server::Server(QueryEngine& engine, fleet::Metrics& metrics,
 
   metrics_.gauge("vmpower_serve_active_connections",
                  "Currently open client connections");
+  admitted_counter_ = &metrics_.counter(
+      "vmpower_serve_admitted_total",
+      "Requests read off client connections (sheds included)");
+  answered_counter_ = &metrics_.counter(
+      "vmpower_serve_answered_total",
+      "Response writes attempted (exactly one per admitted request)");
+  reordered_counter_ = &metrics_.counter(
+      "vmpower_serve_responses_reordered_total",
+      "Responses written out of their arrival position");
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -223,23 +246,36 @@ void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
                    bool binary, bool has_id, std::uint64_t request_id) {
   VMP_TRACE_CONTEXT(request_id);
   VMP_TRACE_SPAN("serve.admission", "serve");
+  // Delivery routing is fixed at arrival: id-less requests (and everything
+  // in ordered mode) hold an ordered slot, so even their shed errors cannot
+  // overtake an earlier slow response.
+  const bool ordered = !options_.out_of_order || !has_id;
+  const std::uint64_t arrival = conn->arrivals++;
+  const std::uint64_t seq = ordered ? conn->ordered_seqs++ : 0;
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  admitted_counter_->inc();
   if (!conn->bucket.try_acquire(steady_seconds())) {
     metrics_
         .counter("vmpower_serve_shed_total{reason=\"throttle\"}",
                  "Requests shed by per-client token buckets")
         .inc();
-    reply_error(*conn, binary, ErrorCode::kThrottled,
-                "client exceeded its request rate", has_id, request_id);
+    deliver(*conn, ordered, seq, arrival,
+            error_bytes(binary, ErrorCode::kThrottled,
+                        "client exceeded its request rate", has_id,
+                        request_id));
     return;
   }
-  if (!queue_.try_push(
-          Task{conn, std::move(payload), binary, has_id, request_id})) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.try_push(Task{conn, std::move(payload), binary, has_id,
+                            request_id, ordered, seq, arrival})) {
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
     metrics_
         .counter("vmpower_serve_shed_total{reason=\"queue\"}",
                  "Requests shed by the bounded request queue")
         .inc();
-    reply_error(*conn, binary, ErrorCode::kOverloaded,
-                "request queue is full", has_id, request_id);
+    deliver(*conn, ordered, seq, arrival,
+            error_bytes(binary, ErrorCode::kOverloaded,
+                        "request queue is full", has_id, request_id));
     return;
   }
   metrics_
@@ -252,17 +288,56 @@ void Server::worker_loop() {
   while (auto task = queue_.pop()) {
     if (options_.worker_delay.count() > 0)
       std::this_thread::sleep_for(options_.worker_delay);
+    if (options_.cost_query_delay.count() > 0 &&
+        is_cost_query(task->payload, task->binary))
+      std::this_thread::sleep_for(options_.cost_query_delay);
+    std::string bytes;
     if (task->binary) {
       const std::string body =
           dispatcher_.handle_binary(task->payload, task->request_id);
-      reply(*task->conn, task->has_id
-                             ? encode_frame_with_id(body, task->request_id)
-                             : encode_frame(body));
+      bytes = task->has_id ? encode_frame_with_id(body, task->request_id)
+                           : encode_frame(body);
     } else {
       // Text ids live in the line itself; the dispatcher echoes them.
-      reply(*task->conn, dispatcher_.handle_text(task->payload) + "\n");
+      bytes = dispatcher_.handle_text(task->payload) + "\n";
     }
+    deliver(*task->conn, task->ordered, task->seq, task->arrival,
+            std::move(bytes));
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+void Server::deliver(Conn& conn, bool ordered, std::uint64_t seq,
+                     std::uint64_t arrival, std::string bytes) {
+  if (!ordered) {
+    write_response(conn, arrival, bytes);
+    return;
+  }
+  // Reorder buffer: park until this slot's turn, then drain every ready
+  // successor too (they were parked waiting on this one). Writes stay under
+  // order_mutex so two drains cannot interleave ordered responses.
+  std::lock_guard lock(conn.order_mutex);
+  conn.held.emplace(seq, Conn::Held{arrival, std::move(bytes)});
+  auto it = conn.held.begin();
+  while (it != conn.held.end() && it->first == conn.next_ordered) {
+    write_response(conn, it->second.arrival, it->second.bytes);
+    it = conn.held.erase(it);
+    ++conn.next_ordered;
+  }
+}
+
+void Server::write_response(Conn& conn, std::uint64_t arrival,
+                            std::string_view bytes) {
+  answered_.fetch_add(1, std::memory_order_relaxed);
+  answered_counter_->inc();
+  std::lock_guard lock(conn.write_mutex);
+  // Count the overtaker only (arrival newer than the write slot), not the
+  // response it displaced — one swap is one reordering.
+  if (arrival > conn.written) reordered_counter_->inc();
+  ++conn.written;
+  if (!conn.open.load(std::memory_order_relaxed)) return;
+  if (!send_fully(conn.fd, bytes))
+    conn.open.store(false, std::memory_order_relaxed);
 }
 
 void Server::reply(Conn& conn, std::string_view bytes) {
@@ -272,19 +347,24 @@ void Server::reply(Conn& conn, std::string_view bytes) {
     conn.open.store(false, std::memory_order_relaxed);
 }
 
-void Server::reply_error(Conn& conn, bool binary, ErrorCode code,
-                         const std::string& message, bool has_id,
-                         std::uint64_t request_id) {
+std::string Server::error_bytes(bool binary, ErrorCode code,
+                                const std::string& message, bool has_id,
+                                std::uint64_t request_id) const {
   const Response response = Response::error(code, message);
   if (binary) {
     const std::string body = encode_response(response);
-    reply(conn, has_id ? encode_frame_with_id(body, request_id)
-                       : encode_frame(body));
-  } else {
-    std::string line = format_response_text(response);
-    if (has_id) line = "#" + std::to_string(request_id) + " " + line;
-    reply(conn, line + "\n");
+    return has_id ? encode_frame_with_id(body, request_id)
+                  : encode_frame(body);
   }
+  std::string line = format_response_text(response);
+  if (has_id) line = "#" + std::to_string(request_id) + " " + line;
+  return line + "\n";
+}
+
+void Server::reply_error(Conn& conn, bool binary, ErrorCode code,
+                         const std::string& message, bool has_id,
+                         std::uint64_t request_id) {
+  reply(conn, error_bytes(binary, code, message, has_id, request_id));
 }
 
 }  // namespace vmp::serve

@@ -218,6 +218,31 @@ TEST(InvariantMonitor, BlockingQueueFullIsFlowControlNotABreach) {
       std::string::npos);
 }
 
+TEST(InvariantMonitor, ServeAccountingBreachesOnSurplusAndIdleDeficit) {
+  MetricsRegistry registry;
+  InvariantMonitor monitor(registry, {});
+  // Balanced books: every admitted request answered, nothing in flight.
+  monitor.observe_serve_accounting(1, 10, 10, 0);
+  EXPECT_EQ(monitor.breaches(), 0u);
+  // A deficit while work is outstanding is normal pipelining, not a breach.
+  monitor.observe_serve_accounting(2, 12, 10, 2);
+  EXPECT_EQ(monitor.breaches(), 0u);
+  // A deficit with *nothing* in flight means a request was dropped.
+  monitor.observe_serve_accounting(3, 12, 11, 0);
+  EXPECT_EQ(monitor.breaches(), 1u);
+  // A surplus means some request id was answered twice.
+  monitor.observe_serve_accounting(4, 12, 13, 0);
+  EXPECT_EQ(monitor.breaches(), 2u);
+
+  const std::string dump = registry.to_prometheus();
+  EXPECT_NE(dump.find("vmpower_serve_outstanding 0\n"), std::string::npos);
+  EXPECT_NE(
+      dump.find(
+          "vmpower_invariant_breaches_total{invariant=\"serve_exactly_once\"}"
+          " 2\n"),
+      std::string::npos);
+}
+
 TEST(InvariantMonitor, RingObservationsExportWithoutWarning) {
   MetricsRegistry registry;
   InvariantMonitor monitor(registry, {});

@@ -4,11 +4,13 @@
 
 #include <chrono>
 #include <limits>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fleet/metrics.hpp"
+#include "obs/invariants.hpp"
 #include "serve/client.hpp"
 #include "serve/query.hpp"
 #include "serve/server.hpp"
@@ -141,7 +143,7 @@ class TransportTest : public ::testing::Test {
 
   SnapshotStore store_{64};
   fleet::Metrics metrics_;
-  QueryEngine engine_{store_, {1024, {}, &metrics_}};
+  QueryEngine engine_{store_, {.cache_capacity = 1024, .metrics = &metrics_}};
 };
 
 TEST_F(TransportTest, InProcessRejectsBadFramesWithoutThrowing) {
@@ -528,6 +530,184 @@ TEST_F(ServerTest, MetricsScrapeOverTcpIsExpositionShaped) {
   const std::string again = client.scrape("METRICS");
   EXPECT_NE(again.find("vmpower_serve_scrapes_total{command=\"metrics\"}"),
             std::string::npos);
+  server.stop();
+}
+
+// --- out-of-order completion ------------------------------------------------
+
+TEST_F(ServerTest, OutOfOrderBinaryCompletionMapsResponsesToIds) {
+  ServerOptions options = quick_options();
+  options.cost_query_delay = std::chrono::milliseconds(80);
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+
+  Request slow;  // stalled by the hook: arrives first, completes last.
+  slow.kind = QueryKind::kTenantCost;
+  slow.tenant = 1;
+  slow.t0 = 6.0;
+  slow.t1 = 18.0;
+  Request cheap;
+  cheap.kind = QueryKind::kFleetPower;
+  client.send_query_with_id(slow, 1);
+  client.send_query_with_id(cheap, 2);
+
+  // The cheap query overtakes the stalled one; each echoed id still names
+  // the request it answers.
+  const auto first = client.recv_response_with_id();
+  const auto second = client.recv_response_with_id();
+  EXPECT_EQ(first.first, 2u);
+  ASSERT_TRUE(first.second.ok);
+  EXPECT_DOUBLE_EQ(first.second.values.at(0), 72.0);
+  EXPECT_EQ(second.first, 1u);
+  ASSERT_TRUE(second.second.ok);
+  EXPECT_DOUBLE_EQ(second.second.values.at(1), 1200.0);
+
+  const std::string dump = metrics_.to_prometheus();
+  EXPECT_NE(dump.find("vmpower_serve_responses_reordered_total 1"),
+            std::string::npos);
+  EXPECT_NE(dump.find("vmpower_serve_admitted_total 2"), std::string::npos);
+  EXPECT_NE(dump.find("vmpower_serve_answered_total 2"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, OutOfOrderTextCompletionMapsResponsesToIds) {
+  ServerOptions options = quick_options();
+  options.cost_query_delay = std::chrono::milliseconds(80);
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+
+  client.send_raw("#1 tenant-cost 1 6 18\n#2 fleet-power\n");
+  EXPECT_EQ(client.recv_line(), "#2 OK 24 72");
+  const std::string slow_line = client.recv_line();
+  EXPECT_EQ(slow_line.rfind("#1 OK 18 ", 0), 0u) << slow_line;
+  server.stop();
+}
+
+TEST_F(ServerTest, IdLessPipelinedClientsKeepArrivalOrder) {
+  ServerOptions options = quick_options();
+  options.cost_query_delay = std::chrono::milliseconds(80);
+  Server server(engine_, metrics_, options);
+
+  {  // Binary without ids: the slow head must not be overtaken.
+    Client client(server.port());
+    Request slow;
+    slow.kind = QueryKind::kTenantCost;
+    slow.tenant = 1;
+    slow.t0 = 6.0;
+    slow.t1 = 18.0;
+    Request cheap;
+    cheap.kind = QueryKind::kFleetPower;
+    client.send_query(slow);
+    client.send_query(cheap);
+    const Response first = client.recv_response();
+    const Response second = client.recv_response();
+    ASSERT_TRUE(first.ok);
+    ASSERT_EQ(first.values.size(), 2u);  // the cost response: came first.
+    EXPECT_DOUBLE_EQ(first.values.at(1), 1200.0);
+    ASSERT_TRUE(second.ok);
+    EXPECT_DOUBLE_EQ(second.values.at(0), 72.0);
+  }
+  {  // Text without ids.
+    Client client(server.port());
+    client.send_raw("tenant-cost 1 6 18\nfleet-power\n");
+    EXPECT_EQ(client.recv_line().rfind("OK 18 ", 0), 0u);
+    EXPECT_EQ(client.recv_line(), "OK 24 72");
+  }
+  server.stop();
+}
+
+TEST_F(ServerTest, OrderedModeForcesArrivalOrderForIdRequests) {
+  ServerOptions options = quick_options();
+  options.out_of_order = false;
+  options.cost_query_delay = std::chrono::milliseconds(80);
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+
+  Request slow;
+  slow.kind = QueryKind::kTenantCost;
+  slow.tenant = 1;
+  slow.t0 = 6.0;
+  slow.t1 = 18.0;
+  Request cheap;
+  cheap.kind = QueryKind::kFleetPower;
+  client.send_query_with_id(slow, 1);
+  client.send_query_with_id(cheap, 2);
+  const auto first = client.recv_response_with_id();
+  const auto second = client.recv_response_with_id();
+  EXPECT_EQ(first.first, 1u);
+  EXPECT_EQ(second.first, 2u);
+  EXPECT_NE(metrics_.to_prometheus().find(
+                "vmpower_serve_responses_reordered_total 0"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, ResponsesByteIdenticalBetweenOrderedAndOutOfOrder) {
+  // Same engine behind both servers: for every request id the wire bytes
+  // must match regardless of completion order — including error responses.
+  ServerOptions ordered_options = quick_options();
+  ordered_options.out_of_order = false;
+  Server ordered(engine_, metrics_, ordered_options);
+  ServerOptions ooo_options = quick_options();
+  ooo_options.cost_query_delay = std::chrono::milliseconds(30);
+  Server reordering(engine_, metrics_, ooo_options);
+
+  const std::vector<std::string> lines = {
+      "tenant-cost 1 6 18", "fleet-power",    "vm-power 0 1",
+      "tenant-power 777",   "vm-energy 0 1 2 10",
+  };
+  std::string pipelined;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto request = parse_request_text(lines[i]);
+    ASSERT_TRUE(request.has_value()) << lines[i];
+    pipelined += encode_frame_with_id(encode_request(*request), 100 + i);
+  }
+
+  const auto collect = [&](Server& server) {
+    std::map<std::uint64_t, std::string> frames;
+    Client client(server.port());
+    client.send_raw(pipelined);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string frame = client.recv_frame();
+      std::uint64_t id = 0;
+      for (std::size_t b = 0; b < kFrameIdBytes; ++b)
+        id = (id << 8) |
+             static_cast<std::uint8_t>(frame[kFramePrefixBytes + b]);
+      frames[id] = frame;
+    }
+    return frames;
+  };
+
+  const auto ordered_frames = collect(ordered);
+  const auto reordered_frames = collect(reordering);
+  ASSERT_EQ(ordered_frames.size(), lines.size());
+  for (const auto& [id, frame] : ordered_frames) {
+    const auto it = reordered_frames.find(id);
+    ASSERT_NE(it, reordered_frames.end()) << "id " << id << " unanswered";
+    EXPECT_EQ(it->second, frame) << "id " << id << " bytes diverged";
+  }
+  ordered.stop();
+  reordering.stop();
+}
+
+TEST_F(ServerTest, ExactlyOnceAccountingBalancesAfterDrain) {
+  ServerOptions options = quick_options();
+  options.tokens_per_s = 0.0;  // sheds count as answered too.
+  options.token_burst = 2.0;
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+  for (int i = 0; i < 5; ++i) (void)client.query_text("fleet-power");
+
+  // query_text awaits each response, so nothing is in flight here.
+  EXPECT_EQ(server.admitted(), 5u);
+  EXPECT_EQ(server.answered(), 5u);
+  EXPECT_EQ(server.outstanding(), 0u);
+
+  obs::MetricsRegistry registry;
+  obs::InvariantMonitor monitor(registry);
+  monitor.observe_serve_accounting(24, server.admitted(), server.answered(),
+                                   server.outstanding());
+  EXPECT_EQ(monitor.breaches(), 0u);
   server.stop();
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <thread>
@@ -365,6 +366,7 @@ TEST_F(QueryEngineTest, WindowResultsSurvivePublishes) {
 TEST_F(QueryEngineTest, LruEvictsColdEntriesAndZeroCapacityDisables) {
   QueryEngineOptions tiny;
   tiny.cache_capacity = 2;
+  tiny.cache_shards = 1;  // global LRU order, so the arithmetic stays exact.
   QueryEngine engine(store_, tiny);
   // Point queries carry exactly one cache entry each (windows add a second,
   // fast key), which keeps the eviction arithmetic exact.
@@ -393,6 +395,159 @@ TEST_F(QueryEngineTest, LruEvictsColdEntriesAndZeroCapacityDisables) {
   (void)uncached.execute(a);
   EXPECT_EQ(uncached.cache_hits(), 0u);
   EXPECT_EQ(uncached.cache_misses(), 2u);
+}
+
+TEST_F(QueryEngineTest, CoalescingDeduplicatesConcurrentIdenticalQueries) {
+  constexpr int kThreads = 4;
+  fleet::Metrics metrics;
+  QueryEngineOptions options;
+  options.metrics = &metrics;
+  std::atomic<int> started{0};
+  std::atomic<bool> hold_armed{true};
+  // The first leader stalls until every thread has entered execute(), then
+  // grants a grace period for the others to reach the in-flight slot.
+  options.coalesce_hold = [&] {
+    if (!hold_armed.exchange(false)) return;
+    while (started.load() < kThreads)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  };
+  QueryEngine engine(store_, options);
+
+  const Request request = window(QueryKind::kTenantCost, 3.0, 9.0);
+  std::vector<Response> responses(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] {
+      started.fetch_add(1);
+      responses[i] = engine.execute(request);
+    });
+  for (std::thread& thread : threads) thread.join();
+
+  // One evaluation ran; everyone else attached to it.
+  EXPECT_EQ(engine.cache_misses(), 1u);
+  EXPECT_EQ(engine.coalesced(), static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(engine.cache_hits(), 0u);
+  ASSERT_TRUE(responses[0].ok);
+  for (int i = 1; i < kThreads; ++i)
+    EXPECT_EQ(format_response_text(responses[i]),
+              format_response_text(responses[0]))
+        << "follower " << i << " payload diverged";
+  EXPECT_NE(metrics.to_prometheus().find("vmpower_serve_coalesced_total 3"),
+            std::string::npos);
+}
+
+TEST_F(QueryEngineTest, CoalescedWaitersSurviveEvictionDuringComputation) {
+  // Capacity 1 + one shard: *every* insert evicts the previous entry, so the
+  // window between the leader's cache insert and a follower's wakeup is
+  // guaranteed to see churn. The follower must still get the leader's
+  // response — it reads the in-flight slot, never the cache.
+  QueryEngineOptions options;
+  options.cache_capacity = 1;
+  options.cache_shards = 1;
+  std::atomic<bool> held{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> hold_armed{true};
+  options.coalesce_hold = [&] {
+    if (!hold_armed.exchange(false)) return;  // churn queries don't stall.
+    held.store(true);
+    while (!release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  QueryEngine engine(store_, options);
+
+  const Request slow = window(QueryKind::kTenantEnergy, 3.0, 9.0);
+  Response leader_response, follower_response;
+  std::thread leader([&] { leader_response = engine.execute(slow); });
+  while (!held.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::thread follower([&] { follower_response = engine.execute(slow); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // attach.
+
+  // Churn the single cache slot while the computation is still in flight.
+  Request churn;
+  churn.kind = QueryKind::kFleetPower;
+  (void)engine.execute(churn);
+  release.store(true);
+  leader.join();
+  follower.join();
+
+  ASSERT_TRUE(leader_response.ok);
+  EXPECT_DOUBLE_EQ(leader_response.values.at(0), 600.0);  // 100 J/s * 6 s.
+  EXPECT_EQ(engine.coalesced(), 1u);
+  EXPECT_EQ(format_response_text(follower_response),
+            format_response_text(leader_response));
+}
+
+TEST_F(QueryEngineTest, CoalescingWorksWithCachingDisabled) {
+  QueryEngineOptions options;
+  options.cache_capacity = 0;  // in-flight table lives in the shards anyway.
+  std::atomic<bool> held{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> hold_armed{true};
+  options.coalesce_hold = [&] {
+    if (!hold_armed.exchange(false)) return;
+    held.store(true);
+    while (!release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  QueryEngine engine(store_, options);
+
+  Request request;
+  request.kind = QueryKind::kStats;
+  Response first, second;
+  std::thread leader([&] { first = engine.execute(request); });
+  while (!held.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::thread follower([&] { second = engine.execute(request); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  release.store(true);
+  leader.join();
+  follower.join();
+
+  EXPECT_EQ(engine.cache_misses(), 1u);
+  EXPECT_EQ(engine.coalesced(), 1u);
+  EXPECT_EQ(format_response_text(second), format_response_text(first));
+}
+
+TEST_F(QueryEngineTest, CoalescingCanBeDisabled) {
+  QueryEngineOptions options;
+  options.coalesce = false;
+  QueryEngine engine(store_, options);
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  (void)engine.execute(request);
+  (void)engine.execute(request);
+  EXPECT_EQ(engine.cache_misses(), 1u);
+  EXPECT_EQ(engine.cache_hits(), 1u);
+  EXPECT_EQ(engine.coalesced(), 0u);
+}
+
+TEST_F(QueryEngineTest, ShardedCacheExportsPerShardLookupCounters) {
+  fleet::Metrics metrics;
+  QueryEngineOptions options;
+  options.cache_shards = 4;
+  options.metrics = &metrics;
+  QueryEngine engine(store_, options);
+  EXPECT_EQ(engine.shard_count(), 4u);
+
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  (void)engine.execute(request);  // miss in some shard.
+  (void)engine.execute(request);  // hit in the same shard.
+  const std::string text = metrics.to_prometheus();
+  EXPECT_NE(text.find("vmpower_serve_cache_shard_hits_total{shard="),
+            std::string::npos);
+  EXPECT_NE(text.find("vmpower_serve_cache_shard_misses_total{shard="),
+            std::string::npos);
+  EXPECT_NE(text.find("vmpower_serve_cache_hits_total 1"), std::string::npos);
+
+  // Shard count 0 clamps to one shard rather than dividing by zero.
+  QueryEngineOptions zero;
+  zero.cache_shards = 0;
+  QueryEngine clamped(store_, zero);
+  EXPECT_EQ(clamped.shard_count(), 1u);
 }
 
 TEST_F(QueryEngineTest, CacheCountersAreExportedWhenMetricsAttached) {

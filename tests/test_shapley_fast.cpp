@@ -416,6 +416,59 @@ TEST(ShapleyVhcEstimatorFast, TableLookupPathMatchesReference) {
   EXPECT_GT(fast_estimator.table_hit_rate(), 0.0);
 }
 
+TEST(ShapleyVhcEstimatorFast, CompositionMemoReplaysTablePathExactly) {
+  util::Rng rng(27);
+  const auto pipeline = full_pipeline(2, rng);
+  // Plant one guaranteed table cell — the composition holding exactly one
+  // 0.25-cpu VM of type 0 — so the memo provably carries hits, not only
+  // remembered misses.
+  VscTable table = pipeline.table;
+  table.record(0b01, {{StateVector::cpu_only(0.25), StateVector::zero()}},
+               6.5);
+  const VhcUniverse universe({0, 1});
+  ShapleyVhcEstimator estimator(universe, pipeline.approx, table);
+
+  // Dyadic states on quantization multiples: the collapsed kernel's k·s
+  // group aggregation and the reference's member-by-member sum are both
+  // exact, so 1e-12 measures accumulation order, not input rounding.
+  std::vector<VmSample> vms = {{0, 0, StateVector::cpu_only(0.25)},
+                               {1, 0, StateVector::cpu_only(0.25)},
+                               {2, 0, StateVector::cpu_only(0.75)},
+                               {3, 1, StateVector::cpu_only(0.5)},
+                               {4, 1, StateVector::cpu_only(0.5)},
+                               {5, 1, StateVector::cpu_only(0.5)}};
+
+  const auto fresh = estimator.estimate(vms, 33.0);
+  EXPECT_EQ(estimator.last_kernel(), "collapsed");
+  const std::size_t queries_fresh = estimator.worth_queries();
+  const double rate_fresh = estimator.table_hit_rate();
+  EXPECT_GT(rate_fresh, 0.0);
+
+  // Identical states next tick: the per-composition memo replays last
+  // tick's table outcomes by index. Replay must be bit-identical to
+  // re-probing — values and counters alike.
+  const auto replay = estimator.estimate(vms, 33.0);
+  for (std::size_t i = 0; i < vms.size(); ++i)
+    EXPECT_EQ(fresh[i], replay[i]) << "memo replay diverged, vm " << i;
+  EXPECT_EQ(estimator.worth_queries(), 2 * queries_fresh);
+  EXPECT_DOUBLE_EQ(estimator.table_hit_rate(), rate_fresh);
+
+  // Both ticks match the per-mask reference with the same table.
+  const auto reference =
+      reference_estimate(universe, pipeline.approx, &table, true, vms, 33.0);
+  for (std::size_t i = 0; i < vms.size(); ++i)
+    EXPECT_NEAR(replay[i], reference[i], 1e-12) << "vm " << i;
+
+  // A moved state invalidates the memo; the rebuilt tick still matches.
+  vms[2].state = StateVector::cpu_only(1.25);
+  const auto moved = estimator.estimate(vms, 41.0);
+  const auto moved_reference =
+      reference_estimate(universe, pipeline.approx, &table, true, vms, 41.0);
+  for (std::size_t i = 0; i < vms.size(); ++i)
+    EXPECT_NEAR(moved[i], moved_reference[i], 1e-12)
+        << "after invalidation, vm " << i;
+}
+
 TEST(ShapleyVhcEstimatorFast, IdleVmsAndCacheReuseAcrossTicks) {
   util::Rng rng(24);
   const auto pipeline = full_pipeline(2, rng);

@@ -93,9 +93,17 @@ commands:
   serve   --fleet VM1,... [--hosts N] [--threads T] [--duration S] [--tenants K]
           [--port P] [--workers W] [--linger S] [--retention N]
           [--request-queue N] [--tokens-per-s R] [--burst B]
+          [--cache N] [--cache-shards K] [--coalesce 0|1] [--ordered]
           [--offpeak-rate $/kWh] [--peak-rate $/kWh] [--peak-hours H0-H1]
           [--seconds-per-hour S] [--seed N] [--collect-duration S]
           [--metrics FILE] [--trace] [--trace-out FILE]
+          --cache N        result-cache capacity across shards (0 disables)
+          --cache-shards K independent LRU shards (lock striping)
+          --coalesce 0|1   attach duplicate in-flight queries to one
+                           evaluation (default 1)
+          --ordered        force arrival-order responses even for id-stamped
+                           requests (default: out-of-order completion; id-less
+                           clients always get arrival order)
   query   --port P [--proto binary|text] [--id N] <verb> [args...]
           verbs: vm-power H V | tenant-power T | fleet-power | stats
                  vm-energy H V T0 T1 | tenant-energy T T0 T1 | tenant-cost T T0 T1
@@ -380,6 +388,11 @@ int cmd_serve(const util::CliArgs& args) {
 
   serve::QueryEngineOptions query_options;
   query_options.tou = tou_for(args);
+  query_options.cache_capacity =
+      static_cast<std::size_t>(args.get_long("cache", 1024));
+  query_options.cache_shards =
+      static_cast<std::size_t>(args.get_long("cache-shards", 8));
+  query_options.coalesce = args.get_long("coalesce", 1) != 0;
 
   serve::ServerOptions server_options;
   server_options.port =
@@ -390,6 +403,7 @@ int cmd_serve(const util::CliArgs& args) {
       static_cast<std::size_t>(args.get_long("request-queue", 64));
   server_options.tokens_per_s = args.get_double("tokens-per-s", 10000.0);
   server_options.token_burst = args.get_double("burst", 1000.0);
+  server_options.out_of_order = !args.has("ordered");
   server_options.validate();
 
   core::CollectionOptions collect;
@@ -409,6 +423,9 @@ int cmd_serve(const util::CliArgs& args) {
   serve::Server server(queries, engine.metrics(), server_options);
 
   const bool dump = arm_tracer(args);
+  // Register the exactly-once accounting series up front so scrapes taken
+  // while the server is live already carry them; re-observed at drain below.
+  engine.invariants().observe_serve_accounting(0, 0, 0, 0);
   const auto ticks =
       static_cast<std::uint64_t>(args.get_double("duration", 300.0));
   std::printf("serving on 127.0.0.1:%u while metering %zu hosts for %llu "
@@ -423,6 +440,9 @@ int cmd_serve(const util::CliArgs& args) {
     std::this_thread::sleep_for(std::chrono::duration<double>(linger));
   }
 
+  engine.invariants().observe_serve_accounting(
+      store.published(), server.admitted(), server.answered(),
+      server.outstanding());
   std::printf("queries: cache hits %llu misses %llu | snapshots %llu\n",
               static_cast<unsigned long long>(queries.cache_hits()),
               static_cast<unsigned long long>(queries.cache_misses()),
