@@ -23,7 +23,8 @@ InvariantMonitor::InvariantMonitor(MetricsRegistry& registry,
 std::uint64_t InvariantMonitor::breaches() const noexcept {
   std::uint64_t total = 0;
   for (const char* invariant :
-       {"efficiency", "table_hit_rate", "queue", "ring", "serve_exactly_once"})
+       {"efficiency", "table_hit_rate", "queue", "ring", "serve_exactly_once",
+        "ledger_tail", "ledger_replay"})
     total += registry_
                  .counter(labeled("vmpower_invariant_breaches_total",
                                   {{"invariant", invariant}}),
@@ -134,6 +135,35 @@ void InvariantMonitor::observe_serve_accounting(std::uint64_t epoch,
   else if (outstanding == 0 && answered < admitted)
     breach(kServeAccounting, "serve_exactly_once", epoch,
            detail + " (a request was admitted but never answered)");
+}
+
+void InvariantMonitor::observe_ledger(std::uint64_t snapshot_epoch,
+                                      std::uint64_t ledger_tail_epoch) {
+  const std::uint64_t lag = snapshot_epoch >= ledger_tail_epoch
+                                ? snapshot_epoch - ledger_tail_epoch
+                                : ledger_tail_epoch - snapshot_epoch;
+  registry_
+      .gauge("vmpower_ledger_tail_lag",
+             "Absolute gap between the newest snapshot epoch and the "
+             "durable ledger's tail epoch (0 when every publish landed)")
+      .set(static_cast<double>(lag));
+  if (lag != 0)
+    breach(kLedgerTail, "ledger_tail", snapshot_epoch,
+           "tail_epoch=" + std::to_string(ledger_tail_epoch) +
+               " snapshot_epoch=" + std::to_string(snapshot_epoch) +
+               " (a publish missed the durable ledger)");
+}
+
+void InvariantMonitor::observe_ledger_replay(std::uint64_t epoch,
+                                             double replayed_total_j,
+                                             double accountant_total_j) {
+  // Bit-for-bit: the record stores the accountant's totals verbatim, so any
+  // difference at all is divergence, not rounding.
+  if (replayed_total_j != accountant_total_j)
+    breach(kLedgerReplay, "ledger_replay", epoch,
+           "replayed_total_j=" + format_watts(replayed_total_j) +
+               " accountant_total_j=" + format_watts(accountant_total_j) +
+               " (ledger history and checkpoint diverged)");
 }
 
 void InvariantMonitor::observe_ring(std::uint64_t epoch,

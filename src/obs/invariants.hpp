@@ -77,6 +77,20 @@ class InvariantMonitor {
                                 std::uint64_t answered,
                                 std::uint64_t outstanding);
 
+  /// Durable-ledger tail freshness, sampled on the publish path right after
+  /// the snapshot's record is appended. The ledger append happens on the
+  /// same thread as the publish, so any lag (snapshot_epoch != tail_epoch)
+  /// means an append was skipped or failed — durable history has a hole.
+  void observe_ledger(std::uint64_t snapshot_epoch,
+                      std::uint64_t ledger_tail_epoch);
+
+  /// Checkpoint-restore cross-check: the energies replayed from the ledger
+  /// record at the checkpointed epoch must equal the restored accountant's
+  /// totals bit-for-bit (both came from the same deterministic history). A
+  /// mismatch means the ledger and the checkpoint diverged.
+  void observe_ledger_replay(std::uint64_t epoch, double replayed_total_j,
+                             double accountant_total_j);
+
   /// Total threshold breaches across all invariants (the sum of the
   /// vmpower_invariant_breaches_total series).
   [[nodiscard]] std::uint64_t breaches() const noexcept;
@@ -88,6 +102,8 @@ class InvariantMonitor {
     kQueue,
     kRing,
     kServeAccounting,
+    kLedgerTail,
+    kLedgerReplay,
     kWhichCount,
   };
 

@@ -132,10 +132,12 @@ Response Response::success(std::uint64_t epoch, std::vector<double> values) {
   return response;
 }
 
-Response Response::error(ErrorCode code, std::string message) {
+Response Response::error(ErrorCode code, std::string message,
+                         std::uint64_t detail) {
   Response response;
   response.ok = false;
   response.code = code;
+  response.detail = detail;
   response.message = std::move(message);
   return response;
 }
@@ -260,6 +262,7 @@ std::string encode_response(const Response& response) {
     for (const double value : response.values) put_f64(body, value);
   } else {
     put_u16(body, static_cast<std::uint16_t>(response.code));
+    put_u64(body, response.detail);
     put_u16(body, static_cast<std::uint16_t>(response.message.size()));
     body.append(response.message, 0,
                 std::min<std::size_t>(response.message.size(), 0xffff));
@@ -282,7 +285,9 @@ std::optional<Response> decode_response(std::string_view body) {
       if (!reader.get_f64(value)) return std::nullopt;
   } else {
     std::uint16_t code = 0, length = 0;
-    if (!reader.get_u16(code) || !reader.get_u16(length)) return std::nullopt;
+    if (!reader.get_u16(code) || !reader.get_u64(response.detail) ||
+        !reader.get_u16(length))
+      return std::nullopt;
     if (reader.pos + length > body.size()) return std::nullopt;
     response.code = static_cast<ErrorCode>(code);
     response.message = std::string(body.substr(reader.pos, length));
@@ -358,9 +363,14 @@ std::optional<Request> parse_request_text(std::string_view line) {
 }
 
 std::string format_response_text(const Response& response) {
-  if (!response.ok)
-    return "ERR " + std::to_string(static_cast<int>(response.code)) + " " +
-           response.message;
+  if (!response.ok) {
+    std::string line = "ERR " + std::to_string(static_cast<int>(response.code));
+    // The detail operand becomes a self-describing token so existing
+    // "ERR <code> <message>" consumers only see it when it means something.
+    if (response.detail != 0)
+      line += " oldest=" + std::to_string(response.detail);
+    return line + " " + response.message;
+  }
   std::string line = "OK " + std::to_string(response.epoch);
   for (const double value : response.values) line += " " + format_double(value);
   return line;

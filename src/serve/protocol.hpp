@@ -7,8 +7,12 @@
 //    big-endian operands (u32 ids, IEEE-754 f64 times); a body whose length
 //    does not match its opcode's operand layout is a protocol error, never a
 //    crash. Response bodies are a status byte, then either
-//    `u64 epoch, u8 count, count x f64` (OK) or `u16 code, u16 len, message`
-//    (error). Frames longer than kMaxFrameBytes are rejected up front.
+//    `u64 epoch, u8 count, count x f64` (OK) or
+//    `u16 code, u64 detail, u16 len, message` (error; `detail` is a
+//    code-specific operand — for the window errors kOutOfRetention and
+//    kOutOfHistory it carries the oldest still-answerable epoch, so a client
+//    can clamp its window instead of guessing). Frames longer than
+//    kMaxFrameBytes are rejected up front.
 //
 //    A client may set bit 31 of the length prefix (kFrameIdFlag) to carry an
 //    8-byte big-endian *request id* between the prefix and the body; the
@@ -67,11 +71,14 @@ enum class ErrorCode : std::uint16_t {
   kUnknownQuery = 2,    ///< opcode/verb not in QueryKind.
   kNoSnapshot = 3,      ///< nothing published yet.
   kUnknownEntity = 4,   ///< host/vm/tenant not in the snapshot.
-  kOutOfRetention = 5,  ///< window start predates the retention ring.
+  kOutOfRetention = 5,  ///< window start predates the retention ring (and no
+                        ///< durable ledger holds it).
   kBadWindow = 6,       ///< t1 < t0 or non-finite bounds.
   kOverloaded = 7,      ///< request queue full; shed.
   kThrottled = 8,       ///< per-client token bucket empty; shed.
   kFrameTooLarge = 9,   ///< declared frame length exceeds kMaxFrameBytes.
+  kOutOfHistory = 10,   ///< window start predates even the durable ledger's
+                        ///< oldest record.
 };
 
 struct Response {
@@ -79,10 +86,14 @@ struct Response {
   std::uint64_t epoch = 0;  ///< snapshot epoch the answer was computed at.
   std::vector<double> values;
   ErrorCode code = ErrorCode::kMalformed;
+  /// Code-specific operand; 0 when the code defines none. kOutOfRetention /
+  /// kOutOfHistory: the oldest epoch a window query can still reach.
+  std::uint64_t detail = 0;
   std::string message;
 
   static Response success(std::uint64_t epoch, std::vector<double> values);
-  static Response error(ErrorCode code, std::string message);
+  static Response error(ErrorCode code, std::string message,
+                        std::uint64_t detail = 0);
 };
 
 inline constexpr std::size_t kFramePrefixBytes = 4;

@@ -101,20 +101,11 @@ Response QueryEngine::execute(const Request& request) {
   std::shared_ptr<const Snapshot> s0, s1;
   {
     VMP_TRACE_SPAN("serve.snapshot_fetch", "serve");
-    s0 = store_.at_or_before(request.t0);
-    if (!s0) {
-      // A bound before the oldest snapshot is a zero baseline while the
-      // genesis snapshot (epoch 1) is still retained; once it has been
-      // evicted the history is genuinely gone.
-      const auto first = store_.oldest();
-      if (!first || first->epoch != 1)
-        return Response::error(
-            ErrorCode::kOutOfRetention,
-            "window start predates the snapshot retention ring");
-      s0 = genesis_baseline();
-    }
+    Response error;
+    s0 = resolve_at_or_before(request.t0, error);
+    if (!s0) return error;
     s1 = request.t1 >= latest->time_s ? latest
-                                      : store_.at_or_before(request.t1);
+                                      : resolve_at_or_before(request.t1, error);
     // t1 >= t0, so s1 can only be null when s0 already fell back to the
     // genesis baseline: the whole window predates accounting.
     if (!s1) s1 = s0;
@@ -204,6 +195,33 @@ QueryEngine::Probe QueryEngine::probe(Shard& shard, const std::string& key,
   return inserted ? Probe::kLead : Probe::kJoin;
 }
 
+std::shared_ptr<const Snapshot> QueryEngine::resolve_at_or_before(
+    double t_s, Response& error) const {
+  if (auto snapshot = store_.at_or_before(t_s)) return snapshot;
+  // A bound before the oldest snapshot is a zero baseline while the genesis
+  // snapshot (epoch 1) is still retained — "before the beginning" is a
+  // legitimate epoch-0 state, not missing history.
+  const auto first = store_.oldest();
+  if (first && first->epoch == 1) return genesis_baseline();
+  if (const ledger::Ledger* log = store_.ledger()) {
+    if (const auto record = log->at_or_before(t_s))
+      return std::make_shared<const Snapshot>(to_snapshot(*record));
+    const ledger::Stats stats = log->stats();
+    if (stats.records > 0) {
+      // The ledger reaches back to accounting's start: before it is genesis.
+      if (stats.oldest_epoch == 1) return genesis_baseline();
+      error = Response::error(ErrorCode::kOutOfHistory,
+                              "window start predates the durable ledger",
+                              stats.oldest_epoch);
+      return nullptr;
+    }
+  }
+  error = Response::error(ErrorCode::kOutOfRetention,
+                          "window start predates the snapshot retention ring",
+                          first ? first->epoch : 0);
+  return nullptr;
+}
+
 Response QueryEngine::note_hit(const Response& response) {
   hits_.fetch_add(1, std::memory_order_relaxed);
   if (hits_counter_) hits_counter_->inc();
@@ -274,14 +292,9 @@ Response QueryEngine::evaluate(
            core::tou_segments(options_.tou, request.t0, request.t1)) {
         double at_boundary = e_end;
         if (segment.t1 < request.t1) {
-          auto snapshot = store_.at_or_before(segment.t1);
-          if (!snapshot) {
-            const auto first = store_.oldest();
-            if (!first || first->epoch != 1)
-              return Response::error(ErrorCode::kOutOfRetention,
-                                     "window slid out of retention");
-            snapshot = genesis_baseline();  // boundary predates accounting.
-          }
+          Response error;
+          const auto snapshot = resolve_at_or_before(segment.t1, error);
+          if (!snapshot) return error;  // boundary slid out of all history.
           at_boundary = tenant_energy_in(*snapshot, request.tenant);
         }
         cost += common::joules_to_kwh(at_boundary - previous) *

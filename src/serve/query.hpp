@@ -5,7 +5,12 @@
 // cumulative energy between the two retained snapshots bracketing [t0, t1]
 // (step semantics: the newest snapshot at-or-before each bound), so a window
 // always sees one consistent epoch pair even while the engine keeps
-// publishing. Cost queries split the window along the time-of-use schedule's
+// publishing. A window bound that slid out of the ring falls through to the
+// store's durable ledger (when one is attached): the ledger record carries
+// the same cumulative energies bit-for-bit, so a cold answer is
+// byte-identical to the ring answer it replaces. Only a bound older than the
+// ledger's own oldest record is kOutOfHistory; both window errors carry the
+// oldest still-answerable epoch in Response::detail so clients can clamp. Cost queries split the window along the time-of-use schedule's
 // rate boundaries and difference energy per segment — the segment energies
 // telescope to the window total, so the TOU bill prices *when* the energy
 // was drawn without ever inventing or losing a joule.
@@ -128,6 +133,14 @@ class QueryEngine {
                                   const std::shared_ptr<const Snapshot>& s0,
                                   const std::shared_ptr<const Snapshot>& s1)
       const;
+
+  /// Resolves the newest snapshot at-or-before `t_s`: retention ring first,
+  /// then the store's durable ledger, then the genesis zero baseline when
+  /// `t_s` predates accounting entirely. Returns nullptr with `error` filled
+  /// (kOutOfRetention / kOutOfHistory, detail = oldest reachable epoch) when
+  /// the history is genuinely gone.
+  [[nodiscard]] std::shared_ptr<const Snapshot> resolve_at_or_before(
+      double t_s, Response& error) const;
 
   /// Hit/miss accounting lives in note_hit/note_miss so a window query that
   /// misses its fast key but hits its epoch-pair key counts once. Per-shard

@@ -23,6 +23,7 @@
 
 #include "core/multi_host.hpp"
 #include "fleet/engine.hpp"
+#include "ledger/ledger.hpp"
 #include "obs/invariants.hpp"
 
 namespace vmp::serve {
@@ -63,6 +64,12 @@ struct Snapshot {
   [[nodiscard]] const TenantRecord* find_tenant(
       core::TenantId tenant) const noexcept;
 };
+
+/// Snapshot <-> ledger record conversions. Field-for-field copies (the two
+/// structs mirror each other), so a snapshot round-tripped through the
+/// ledger is bit-identical — cold window answers match ring answers exactly.
+[[nodiscard]] ledger::TickRecord to_record(const Snapshot& snapshot);
+[[nodiscard]] Snapshot to_snapshot(const ledger::TickRecord& record);
 
 class SnapshotStore {
  public:
@@ -116,10 +123,25 @@ class SnapshotStore {
   /// outlive the engine's run() calls.
   void attach(fleet::FleetEngine& engine);
 
+  /// Mirrors every publish into `log` (the durable tier under the ring);
+  /// nullptr detaches. The append happens on the publish thread, so the
+  /// single-writer contracts of both sides line up. The ledger must outlive
+  /// subsequent publishes.
+  void set_ledger(ledger::Ledger* log) noexcept { ledger_ = log; }
+  [[nodiscard]] ledger::Ledger* ledger() const noexcept { return ledger_; }
+
+  /// Refills the ring from the tail of `log` (newest `retention` records,
+  /// keeping their epochs) and advances the epoch counter so the next
+  /// publish continues the sequence. Returns how many snapshots were
+  /// restored. Call before the first publish, e.g. right after a checkpoint
+  /// restore, so historical window queries answer byte-identically.
+  std::size_t restore_from_ledger(const ledger::Ledger& log);
+
  private:
   const std::size_t retention_;
   std::atomic<std::uint64_t> next_epoch_{0};
   obs::InvariantMonitor* monitor_ = nullptr;  ///< publish-thread only.
+  ledger::Ledger* ledger_ = nullptr;          ///< publish-thread only.
   mutable std::mutex ring_mutex_;
   std::shared_ptr<const Snapshot> latest_;            ///< guarded by the ring mutex.
   std::deque<std::shared_ptr<const Snapshot>> ring_;  ///< time-ascending.

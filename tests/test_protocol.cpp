@@ -86,7 +86,32 @@ TEST(ProtocolCodec, BinaryResponsesRoundTrip) {
   EXPECT_FALSE(error_decoded->ok);
   EXPECT_EQ(error_decoded->code, ErrorCode::kOutOfRetention);
   EXPECT_EQ(error_decoded->message, "window too old");
+  EXPECT_EQ(error_decoded->detail, 0u);
   EXPECT_FALSE(decode_response("").has_value());
+}
+
+TEST(ProtocolCodec, ErrorDetailRoundTripsOnBothEncodings) {
+  // The window errors carry the oldest still-answerable epoch so a client
+  // can clamp its window instead of guessing.
+  const Response error = Response::error(
+      ErrorCode::kOutOfHistory, "window start predates the durable ledger",
+      77);
+  const auto decoded = decode_response(encode_response(error));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->code, ErrorCode::kOutOfHistory);
+  EXPECT_EQ(decoded->detail, 77u);
+  EXPECT_EQ(decoded->message, error.message);
+
+  // Text spells the detail as an `oldest=` token — but only when set, so
+  // detail-free errors keep their exact pre-ledger shape.
+  EXPECT_EQ(format_response_text(error),
+            "ERR 10 oldest=77 window start predates the durable ledger");
+  EXPECT_EQ(format_response_text(
+                Response::error(ErrorCode::kOutOfRetention, "gone", 12)),
+            "ERR 5 oldest=12 gone");
+  EXPECT_EQ(format_response_text(
+                Response::error(ErrorCode::kOutOfRetention, "gone")),
+            "ERR 5 gone");
 }
 
 TEST(ProtocolCodec, FramePrefixIsBigEndianLength) {

@@ -44,6 +44,11 @@
 //       pull a Prometheus exposition (or trace JSONL) from a running
 //       `vmpower serve` over its text protocol.
 //
+//   vmpower ledger inspect|verify|compact --dir DIR
+//       examine or maintain a durable attribution ledger directory (the
+//       write-ahead log `vmpower serve --ledger DIR` appends to); see the
+//       "Durable history" README section.
+//
 // Fleet syntax: comma-separated Table IV type names (VM1..VM4). The machine
 // is the calibrated Xeon prototype (--machine pentium for the desktop).
 #include <chrono>
@@ -62,6 +67,7 @@
 #include "core/serialization.hpp"
 #include "core/pricing.hpp"
 #include "fleet/engine.hpp"
+#include "ledger/ledger.hpp"
 #include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/query.hpp"
@@ -96,7 +102,13 @@ commands:
           [--cache N] [--cache-shards K] [--coalesce 0|1] [--ordered]
           [--offpeak-rate $/kWh] [--peak-rate $/kWh] [--peak-hours H0-H1]
           [--seconds-per-hour S] [--seed N] [--collect-duration S]
+          [--ledger DIR] [--segment-records N] [--checkpoint FILE]
           [--metrics FILE] [--trace] [--trace-out FILE]
+          --ledger DIR     append every published snapshot to a durable
+                           write-ahead ledger; window queries older than the
+                           retention ring fall through to it
+          --checkpoint FILE with --ledger: restore the engine and replay the
+                           ledger tail into the ring on start, save on exit
           --cache N        result-cache capacity across shards (0 disables)
           --cache-shards K independent LRU shards (lock striping)
           --coalesce 0|1   attach duplicate in-flight queries to one
@@ -110,6 +122,11 @@ commands:
   trace   [--fleet VM1,...] [--hosts N] [--duration TICKS] [--out FILE]
           [--seed N] [--collect-duration S]
   scrape  --port P [--what metrics|trace] [--out FILE]
+  ledger  inspect --dir DIR   list segments, extent, and recovery findings
+          verify  --dir DIR   full-scan integrity check (read-only; exit 1
+                              on torn records or epoch gaps)
+          compact --dir DIR   compact every sealed WAL segment into an
+                              indexed cold segment [--index-stride N]
 )";
 
 sim::MachineSpec machine_for(const util::CliArgs& args) {
@@ -418,6 +435,47 @@ int cmd_serve(const util::CliArgs& args) {
   serve::SnapshotStore store(
       static_cast<std::size_t>(args.get_long("retention", 4096)));
   store.attach(engine);
+
+  std::unique_ptr<ledger::Ledger> log;
+  if (args.has("ledger")) {
+    ledger::LedgerOptions ledger_options;
+    ledger_options.dir = args.require("ledger");
+    ledger_options.segment_max_records =
+        static_cast<std::uint64_t>(args.get_long("segment-records", 4096));
+    ledger_options.metrics = &engine.metrics();
+    log = std::make_unique<ledger::Ledger>(ledger_options);
+    const ledger::RecoveryReport recovered = log->recovery();
+    if (recovered.records > 0 || recovered.torn_records > 0)
+      std::printf("ledger: recovered %llu records from %llu segments "
+                  "(%llu torn, %llu bytes truncated)\n",
+                  static_cast<unsigned long long>(recovered.records),
+                  static_cast<unsigned long long>(recovered.segments),
+                  static_cast<unsigned long long>(recovered.torn_records),
+                  static_cast<unsigned long long>(recovered.truncated_bytes));
+    store.set_ledger(log.get());
+  }
+
+  const std::string checkpoint = args.get("checkpoint");
+  if (!checkpoint.empty() && std::filesystem::exists(checkpoint)) {
+    engine.restore_checkpoint(checkpoint);
+    std::printf("resumed from checkpoint %s at tick %llu\n",
+                checkpoint.c_str(),
+                static_cast<unsigned long long>(engine.tick()));
+    if (log) {
+      // The ledger may hold epochs past the checkpointed tick (a crash after
+      // the checkpoint was written); rewind it, then replay its tail into
+      // the ring so historical window queries answer byte-identically.
+      log->truncate_after(engine.tick());
+      const std::size_t replayed = store.restore_from_ledger(*log);
+      std::printf("ledger: replayed %zu snapshots into the retention ring\n",
+                  replayed);
+      if (const auto head = store.latest())
+        engine.invariants().observe_ledger_replay(
+            head->epoch, head->total_energy_j,
+            engine.tenant_ledger().total_energy_j());
+    }
+  }
+
   query_options.metrics = &engine.metrics();
   serve::QueryEngine queries(store, query_options);
   serve::Server server(queries, engine.metrics(), server_options);
@@ -447,6 +505,20 @@ int cmd_serve(const util::CliArgs& args) {
               static_cast<unsigned long long>(queries.cache_hits()),
               static_cast<unsigned long long>(queries.cache_misses()),
               static_cast<unsigned long long>(store.published()));
+  if (log) {
+    const ledger::Stats stats = log->stats();
+    std::printf("ledger: %llu records in %llu segments (%llu cold), epochs "
+                "[%llu, %llu]\n",
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.segments),
+                static_cast<unsigned long long>(stats.cold_segments),
+                static_cast<unsigned long long>(stats.oldest_epoch),
+                static_cast<unsigned long long>(stats.tail_epoch));
+  }
+  if (!checkpoint.empty()) {
+    engine.save_checkpoint(checkpoint);
+    std::printf("checkpoint written to %s\n", checkpoint.c_str());
+  }
   if (args.has("metrics")) {
     const std::string metrics_path = args.require("metrics");
     engine.metrics().write_prometheus(metrics_path);
@@ -577,6 +649,70 @@ int cmd_scrape(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_ledger(const util::CliArgs& args) {
+  const auto& positionals = args.positionals();
+  if (positionals.size() < 2)
+    throw std::invalid_argument(
+        "ledger: missing verb (inspect, verify, or compact)");
+  const std::string& verb = positionals[1];
+  const std::filesystem::path dir = args.require("dir");
+
+  if (verb == "verify") {
+    const ledger::VerifyReport report = ledger::verify_dir(dir);
+    std::printf("%s: %llu segments, %llu records, %llu torn, %llu epoch "
+                "gaps -> %s\n",
+                dir.string().c_str(),
+                static_cast<unsigned long long>(report.segments),
+                static_cast<unsigned long long>(report.records),
+                static_cast<unsigned long long>(report.torn_records),
+                static_cast<unsigned long long>(report.epoch_gaps),
+                report.clean() ? "clean" : "DAMAGED");
+    return report.clean() ? 0 : 1;
+  }
+
+  ledger::LedgerOptions options;
+  options.dir = dir;
+  options.index_stride =
+      static_cast<std::uint64_t>(args.get_long("index-stride", 64));
+  options.auto_compact = false;  // inspect/compact decide explicitly below.
+  options.background_compaction = false;
+  ledger::Ledger log(options);
+
+  if (verb == "compact") {
+    const std::size_t compacted = log.compact_all();
+    std::printf("%s: compacted %zu sealed segments\n", dir.string().c_str(),
+                compacted);
+    return 0;
+  }
+  if (verb != "inspect")
+    throw std::invalid_argument("ledger: unknown verb '" + verb +
+                                "' (expected inspect, verify, or compact)");
+
+  const ledger::Stats stats = log.stats();
+  const ledger::RecoveryReport recovered = log.recovery();
+  util::TablePrinter table({"segment", "kind", "epochs", "records", "bytes"});
+  for (const ledger::SegmentInfo& segment : log.segments())
+    table.add_row({segment.file,
+                   segment.cold ? "cold" : segment.active ? "active" : "sealed",
+                   std::to_string(segment.first_epoch) + "-" +
+                       std::to_string(segment.last_epoch),
+                   std::to_string(segment.records),
+                   std::to_string(segment.bytes)});
+  table.print();
+  std::printf("extent: epochs [%llu, %llu], time [%.1f s, %.1f s], %llu "
+              "records\n",
+              static_cast<unsigned long long>(stats.oldest_epoch),
+              static_cast<unsigned long long>(stats.tail_epoch),
+              stats.oldest_time_s, stats.tail_time_s,
+              static_cast<unsigned long long>(stats.records));
+  std::printf("recovery: %llu torn records, %llu bytes truncated, %llu cold "
+              "footers rescanned\n",
+              static_cast<unsigned long long>(recovered.torn_records),
+              static_cast<unsigned long long>(recovered.truncated_bytes),
+              static_cast<unsigned long long>(recovered.rescanned_cold));
+  return 0;
+}
+
 int cmd_info(const util::CliArgs& args) {
   const auto approx = core::load_approximation(args.require("approx"));
   std::printf("VHC linear approximation: %zu VHCs, %zu fitted combinations\n",
@@ -608,6 +744,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "scrape") return cmd_scrape(args);
+    if (command == "ledger") return cmd_ledger(args);
     std::fputs(kUsage, command.empty() ? stdout : stderr);
     return command.empty() ? 0 : 2;
   } catch (const std::exception& error) {
