@@ -1,0 +1,121 @@
+#include "federate/shard_map.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace vmp::federate {
+
+namespace {
+
+std::uint64_t parse_number(std::string_view token, const char* what,
+                           std::uint64_t max) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || value > max)
+    throw std::invalid_argument(std::string("shard map: bad ") + what + " '" +
+                                std::string(token) + "'");
+  return value;
+}
+
+std::uint16_t parse_endpoint(std::string_view token) {
+  const std::size_t colon = token.rfind(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view host = token.substr(0, colon);
+    if (host != "127.0.0.1" && host != "localhost")
+      throw std::invalid_argument(
+          "shard map: non-loopback endpoint host '" + std::string(host) +
+          "' (the serve tier binds 127.0.0.1 only)");
+    token = token.substr(colon + 1);
+  }
+  const std::uint64_t port = parse_number(token, "endpoint port", 0xffff);
+  if (port == 0)
+    throw std::invalid_argument("shard map: endpoint port must be non-zero");
+  return static_cast<std::uint16_t>(port);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::vector<FleetShard> shards)
+    : shards_(std::move(shards)) {
+  std::sort(shards_.begin(), shards_.end(),
+            [](const FleetShard& a, const FleetShard& b) {
+              return a.fleet < b.fleet;
+            });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].endpoints.empty())
+      throw std::invalid_argument("shard map: fleet " +
+                                  std::to_string(shards_[i].fleet) +
+                                  " has no endpoints");
+    if (i > 0 && shards_[i].fleet == shards_[i - 1].fleet)
+      throw std::invalid_argument("shard map: duplicate fleet id " +
+                                  std::to_string(shards_[i].fleet));
+  }
+}
+
+ShardMap ShardMap::parse(std::string_view spec) {
+  std::vector<FleetShard> shards;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) {
+      if (end == spec.size()) break;
+      continue;  // tolerate a trailing/duplicated separator.
+    }
+    const std::size_t equals = entry.find('=');
+    if (equals == std::string_view::npos)
+      throw std::invalid_argument("shard map: entry '" + std::string(entry) +
+                                  "' is not fleet=endpoints");
+    FleetShard shard;
+    shard.fleet = static_cast<std::uint32_t>(
+        parse_number(entry.substr(0, equals), "fleet id", 0xffffffffu));
+    std::string_view endpoints = entry.substr(equals + 1);
+    std::size_t ep_start = 0;
+    while (ep_start <= endpoints.size()) {
+      std::size_t ep_end = endpoints.find(',', ep_start);
+      if (ep_end == std::string_view::npos) ep_end = endpoints.size();
+      const std::string_view token =
+          endpoints.substr(ep_start, ep_end - ep_start);
+      if (token.empty())
+        throw std::invalid_argument("shard map: empty endpoint for fleet " +
+                                    std::to_string(shard.fleet));
+      shard.endpoints.push_back(parse_endpoint(token));
+      if (ep_end == endpoints.size()) break;
+      ep_start = ep_end + 1;
+    }
+    shards.push_back(std::move(shard));
+    if (end == spec.size()) break;
+  }
+  if (shards.empty())
+    throw std::invalid_argument("shard map: no shards in spec");
+  return ShardMap(std::move(shards));
+}
+
+const FleetShard* ShardMap::find(std::uint32_t fleet) const noexcept {
+  const auto it = std::lower_bound(
+      shards_.begin(), shards_.end(), fleet,
+      [](const FleetShard& shard, std::uint32_t id) {
+        return shard.fleet < id;
+      });
+  return it != shards_.end() && it->fleet == fleet ? &*it : nullptr;
+}
+
+std::string ShardMap::spec() const {
+  std::string out;
+  for (const FleetShard& shard : shards_) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(shard.fleet);
+    out += '=';
+    for (std::size_t i = 0; i < shard.endpoints.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(shard.endpoints[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace vmp::federate

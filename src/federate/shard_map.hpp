@@ -1,0 +1,69 @@
+// Static shard topology of a federated deployment: which fleet shards
+// exist and where each one's query service listens.
+//
+// Every shard is one fleet engine + snapshot store + serve::Server, all on
+// loopback (the serve tier binds 127.0.0.1 only, so an endpoint is just a
+// port). A shard may list replica endpoints after its primary — additional
+// servers fronting the same snapshot store — which is what the frontend's
+// hedged second requests race against when the primary runs slow.
+//
+// The map is parsed once from a spec string and then immutable; shard
+// *liveness* is runtime state and lives in ShardHealthTracker, not here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmp::federate {
+
+/// One fleet shard: a stable fleet id plus the loopback ports of the
+/// servers fronting it. endpoints[0] is the primary; any further entries
+/// are replicas eligible for hedged requests.
+struct FleetShard {
+  std::uint32_t fleet = 0;
+  std::vector<std::uint16_t> endpoints;
+
+  [[nodiscard]] std::uint16_t primary() const noexcept {
+    return endpoints.empty() ? 0 : endpoints.front();
+  }
+  [[nodiscard]] bool has_replica() const noexcept {
+    return endpoints.size() > 1;
+  }
+};
+
+/// Immutable fleet-id -> endpoints map.
+class ShardMap {
+ public:
+  ShardMap() = default;
+  /// Throws std::invalid_argument on duplicate fleet ids or empty endpoint
+  /// lists.
+  explicit ShardMap(std::vector<FleetShard> shards);
+
+  /// Parses "fleet=port[,port...][;fleet=port...]", e.g.
+  /// "1=7001;2=7002,7012;3=7003". An endpoint may also be spelled
+  /// "127.0.0.1:port" or "localhost:port" (any other host is rejected —
+  /// the serve tier is loopback-only). Throws std::invalid_argument on
+  /// malformed specs.
+  [[nodiscard]] static ShardMap parse(std::string_view spec);
+
+  [[nodiscard]] const std::vector<FleetShard>& shards() const noexcept {
+    return shards_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return shards_.empty(); }
+
+  /// nullptr when the fleet id is not in the map.
+  [[nodiscard]] const FleetShard* find(std::uint32_t fleet) const noexcept;
+
+  /// Canonical "fleet=port,port;..." spelling (fleet-id ascending); parses
+  /// back to an equal map.
+  [[nodiscard]] std::string spec() const;
+
+ private:
+  std::vector<FleetShard> shards_;  ///< sorted by fleet id.
+};
+
+}  // namespace vmp::federate

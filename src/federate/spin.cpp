@@ -1,0 +1,24 @@
+#include "federate/spin.hpp"
+
+#include <utility>
+
+namespace vmp::federate {
+
+InProcessShard::InProcessShard(InProcessShardOptions options)
+    : options_(std::move(options)), store_(options_.retention) {
+  serve::QueryEngineOptions engine_options = options_.engine;
+  engine_options.metrics = &metrics_;
+  engine_ = std::make_unique<serve::QueryEngine>(store_, engine_options);
+  server_ =
+      std::make_unique<serve::Server>(*engine_, metrics_, options_.server);
+  if (options_.replica)
+    replica_ =
+        std::make_unique<serve::Server>(*engine_, metrics_, *options_.replica);
+}
+
+void InProcessShard::stop() {
+  if (server_) server_->stop();
+  if (replica_) replica_->stop();
+}
+
+}  // namespace vmp::federate

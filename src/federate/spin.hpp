@@ -1,0 +1,72 @@
+// In-process fleet shard: one snapshot store + query engine + TCP server,
+// bundled so tests, benches, and `vmpower federate --spin` can stand up an
+// N-shard federation inside a single process.
+//
+// The shard serves whatever its SnapshotStore holds — callers publish
+// snapshots themselves (synthetic trajectories in tests, FleetEngine ticks
+// in the CLI). An optional *replica* server fronts the same store/engine on
+// a second port; giving the replica different ServerOptions (e.g. a
+// worker_delay on the primary, none on the replica) is how the hedging
+// tests and bench_federation build a deterministically slow primary with a
+// fast hedge target.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "fleet/metrics.hpp"
+#include "serve/query.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+
+namespace vmp::federate {
+
+struct InProcessShardOptions {
+  std::uint32_t fleet = 0;
+  std::size_t retention = 512;
+  serve::QueryEngineOptions engine{};  ///< engine.metrics is wired in.
+  serve::ServerOptions server{};       ///< port 0 picks an ephemeral port.
+  /// When set, a second server on the same engine (the hedge target).
+  std::optional<serve::ServerOptions> replica;
+};
+
+class InProcessShard {
+ public:
+  explicit InProcessShard(InProcessShardOptions options = {});
+
+  [[nodiscard]] std::uint32_t fleet() const noexcept {
+    return options_.fleet;
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return server_->port();
+  }
+  [[nodiscard]] bool has_replica() const noexcept {
+    return replica_ != nullptr;
+  }
+  [[nodiscard]] std::uint16_t replica_port() const noexcept {
+    return replica_ ? replica_->port() : 0;
+  }
+
+  [[nodiscard]] serve::SnapshotStore& store() noexcept { return store_; }
+  [[nodiscard]] const serve::SnapshotStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] serve::QueryEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] fleet::Metrics& metrics() noexcept { return metrics_; }
+
+  /// Stops the server(s); the store and engine stay queryable in process.
+  /// Idempotent. A stopped shard's ports refuse connections, which is how
+  /// tests kill one shard mid-run.
+  void stop();
+
+ private:
+  InProcessShardOptions options_;
+  fleet::Metrics metrics_;
+  serve::SnapshotStore store_;
+  std::unique_ptr<serve::QueryEngine> engine_;
+  std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<serve::Server> replica_;
+};
+
+}  // namespace vmp::federate

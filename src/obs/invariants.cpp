@@ -24,7 +24,7 @@ std::uint64_t InvariantMonitor::breaches() const noexcept {
   std::uint64_t total = 0;
   for (const char* invariant :
        {"efficiency", "table_hit_rate", "queue", "ring", "serve_exactly_once",
-        "ledger_tail", "ledger_replay"})
+        "ledger_tail", "ledger_replay", "federation"})
     total += registry_
                  .counter(labeled("vmpower_invariant_breaches_total",
                                   {{"invariant", invariant}}),
@@ -164,6 +164,30 @@ void InvariantMonitor::observe_ledger_replay(std::uint64_t epoch,
            "replayed_total_j=" + format_watts(replayed_total_j) +
                " accountant_total_j=" + format_watts(accountant_total_j) +
                " (ledger history and checkpoint diverged)");
+}
+
+void InvariantMonitor::observe_federation(std::uint64_t epoch,
+                                          double federated_total,
+                                          double shard_sum_total,
+                                          std::uint64_t shards) {
+  const double residual = federated_total - shard_sum_total;
+  registry_
+      .gauge("vmpower_fed_additivity_residual",
+             "Federated roll-up total minus the sum of the shard answers on "
+             "the last complete fan-out (must be exactly zero)")
+      .set(residual);
+  registry_
+      .gauge("vmpower_fed_rollup_shards",
+             "Shards that contributed to the last complete fan-out")
+      .set(static_cast<double>(shards));
+  // Exact comparison on purpose: the roll-up *is* the sum of those doubles,
+  // so even one ulp of residual is an accounting bug, not rounding.
+  if (residual != 0.0)
+    breach(kFederation, "federation", epoch,
+           "federated_total=" + format_watts(federated_total) +
+               " shard_sum_total=" + format_watts(shard_sum_total) +
+               " shards=" + std::to_string(shards) +
+               " (federated total diverged from the shard sum)");
 }
 
 void InvariantMonitor::observe_ring(std::uint64_t epoch,

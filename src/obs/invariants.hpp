@@ -91,6 +91,15 @@ class InvariantMonitor {
   void observe_ledger_replay(std::uint64_t epoch, double replayed_total_j,
                              double accountant_total_j);
 
+  /// Federation Additivity cross-check: on a fault-free fan-out (every shard
+  /// answered) the federated total must equal the sum of the shard answers
+  /// exactly — the roll-up is pure IEEE summation of the shard doubles, so
+  /// any residual at all means a shard was double-counted or dropped. Only
+  /// call with `complete` fan-outs; partial results legitimately under-count
+  /// and are tracked by the frontend's own vmpower_fed_partial_total.
+  void observe_federation(std::uint64_t epoch, double federated_total,
+                          double shard_sum_total, std::uint64_t shards);
+
   /// Total threshold breaches across all invariants (the sum of the
   /// vmpower_invariant_breaches_total series).
   [[nodiscard]] std::uint64_t breaches() const noexcept;
@@ -104,6 +113,7 @@ class InvariantMonitor {
     kServeAccounting,
     kLedgerTail,
     kLedgerReplay,
+    kFederation,
     kWhichCount,
   };
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,12 +14,17 @@ namespace vmp::serve {
 
 namespace {
 
+[[noreturn]] void throw_recv_failure(ssize_t n) {
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+    throw TimeoutError("serve client: query deadline expired");
+  throw std::runtime_error("serve client: connection closed mid-response");
+}
+
 void read_or_throw(int fd, char* out, std::size_t want) {
   std::size_t got = 0;
   while (got < want) {
     const ssize_t n = ::recv(fd, out + got, want - got, 0);
-    if (n <= 0)
-      throw std::runtime_error("serve client: connection closed mid-response");
+    if (n <= 0) throw_recv_failure(n);
     got += static_cast<std::size_t>(n);
   }
 }
@@ -57,14 +63,29 @@ void Client::shutdown_write() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
+void Client::set_timeout(std::chrono::milliseconds timeout) {
+  timeout_ = timeout.count() < 0 ? std::chrono::milliseconds{0} : timeout;
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) != 0)
+    throw std::runtime_error("serve client: setsockopt(SO_*TIMEO) failed: " +
+                             std::string(std::strerror(errno)));
+}
+
 void Client::send_raw(std::string_view bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
-    if (n <= 0)
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        throw TimeoutError("serve client: query deadline expired");
       throw std::runtime_error("serve client: send failed: " +
                                std::string(std::strerror(errno)));
+    }
     sent += static_cast<std::size_t>(n);
   }
 }
@@ -99,8 +120,7 @@ std::string Client::recv_line() {
     }
     char chunk[1024];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n <= 0)
-      throw std::runtime_error("serve client: connection closed mid-response");
+    if (n <= 0) throw_recv_failure(n);
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

@@ -9,7 +9,9 @@
 // tests can inject garbage, truncated frames, and mid-request disconnects.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -17,6 +19,16 @@
 #include "serve/protocol.hpp"
 
 namespace vmp::serve {
+
+/// Thrown when a per-query deadline (see Client::set_timeout) expires before
+/// the response arrives. Distinct from the generic std::runtime_error used
+/// for hard transport failures so callers — the CLI's --timeout-ms and the
+/// federation frontend's per-shard deadlines — can treat "slow" differently
+/// from "broken".
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Client {
  public:
@@ -66,9 +78,20 @@ class Client {
   void shutdown_write();
   void close();
 
+  /// Arms a per-operation deadline on the socket (SO_RCVTIMEO/SO_SNDTIMEO):
+  /// any single send or receive that blocks longer than `timeout` throws
+  /// TimeoutError. Zero disarms. The socket is left in an indeterminate
+  /// mid-message state after a timeout — callers should close and reconnect
+  /// rather than reuse the connection.
+  void set_timeout(std::chrono::milliseconds timeout);
+  [[nodiscard]] std::chrono::milliseconds timeout() const noexcept {
+    return timeout_;
+  }
+
  private:
   int fd_ = -1;
   std::string buffer_;  ///< unread bytes beyond the last line.
+  std::chrono::milliseconds timeout_{0};  ///< 0 = block forever.
 };
 
 }  // namespace vmp::serve

@@ -132,6 +132,14 @@ Response Response::success(std::uint64_t epoch, std::vector<double> values) {
   return response;
 }
 
+Response Response::partial(std::uint64_t epoch, std::vector<double> values,
+                           std::vector<std::uint32_t> missing) {
+  Response response = success(epoch, std::move(values));
+  response.complete = missing.empty();
+  response.missing_shards = std::move(missing);
+  return response;
+}
+
 Response Response::error(ErrorCode code, std::string message,
                          std::uint64_t detail) {
   Response response;
@@ -255,11 +263,20 @@ std::optional<Request> decode_request(std::string_view body) {
 
 std::string encode_response(const Response& response) {
   std::string body;
-  body.push_back(response.ok ? '\0' : '\1');
+  // Status 0 = OK, 1 = error, 2 = partial OK (a federated roll-up missing
+  // some shards; the OK layout plus a trailing missing-shard list).
+  const bool partial = response.ok && !response.complete;
+  body.push_back(response.ok ? (partial ? '\2' : '\0') : '\1');
   if (response.ok) {
     put_u64(body, response.epoch);
     body.push_back(static_cast<char>(response.values.size()));
     for (const double value : response.values) put_f64(body, value);
+    if (partial) {
+      put_u16(body, static_cast<std::uint16_t>(std::min<std::size_t>(
+                        response.missing_shards.size(), 0xffff)));
+      for (const std::uint32_t shard : response.missing_shards)
+        put_u32(body, shard);
+    }
   } else {
     put_u16(body, static_cast<std::uint16_t>(response.code));
     put_u64(body, response.detail);
@@ -273,9 +290,9 @@ std::string encode_response(const Response& response) {
 std::optional<Response> decode_response(std::string_view body) {
   Reader reader{body};
   std::uint8_t status = 0;
-  if (!reader.get_u8(status) || status > 1) return std::nullopt;
+  if (!reader.get_u8(status) || status > 2) return std::nullopt;
   Response response;
-  response.ok = status == 0;
+  response.ok = status != 1;
   if (response.ok) {
     std::uint8_t count = 0;
     if (!reader.get_u64(response.epoch) || !reader.get_u8(count))
@@ -283,6 +300,14 @@ std::optional<Response> decode_response(std::string_view body) {
     response.values.resize(count);
     for (double& value : response.values)
       if (!reader.get_f64(value)) return std::nullopt;
+    if (status == 2) {
+      std::uint16_t missing = 0;
+      if (!reader.get_u16(missing) || missing == 0) return std::nullopt;
+      response.complete = false;
+      response.missing_shards.resize(missing);
+      for (std::uint32_t& shard : response.missing_shards)
+        if (!reader.get_u32(shard)) return std::nullopt;
+    }
   } else {
     std::uint16_t code = 0, length = 0;
     if (!reader.get_u16(code) || !reader.get_u64(response.detail) ||
@@ -373,6 +398,15 @@ std::string format_response_text(const Response& response) {
   }
   std::string line = "OK " + std::to_string(response.epoch);
   for (const double value : response.values) line += " " + format_double(value);
+  // A degraded federated roll-up names the absent shards as one trailing
+  // self-describing token, so complete answers keep their exact shape.
+  if (!response.complete && !response.missing_shards.empty()) {
+    line += " missing=";
+    for (std::size_t i = 0; i < response.missing_shards.size(); ++i) {
+      if (i) line += ',';
+      line += std::to_string(response.missing_shards[i]);
+    }
+  }
   return line;
 }
 

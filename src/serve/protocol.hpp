@@ -7,7 +7,9 @@
 //    big-endian operands (u32 ids, IEEE-754 f64 times); a body whose length
 //    does not match its opcode's operand layout is a protocol error, never a
 //    crash. Response bodies are a status byte, then either
-//    `u64 epoch, u8 count, count x f64` (OK) or
+//    `u64 epoch, u8 count, count x f64` (OK),
+//    `u64 epoch, u8 count, count x f64, u16 miss, miss x u32` (partial OK:
+//    a federated roll-up missing the listed shards — see federate/), or
 //    `u16 code, u64 detail, u16 len, message` (error; `detail` is a
 //    code-specific operand — for the window errors kOutOfRetention and
 //    kOutOfHistory it carries the oldest still-answerable epoch, so a client
@@ -79,6 +81,9 @@ enum class ErrorCode : std::uint16_t {
   kFrameTooLarge = 9,   ///< declared frame length exceeds kMaxFrameBytes.
   kOutOfHistory = 10,   ///< window start predates even the durable ledger's
                         ///< oldest record.
+  kUnavailable = 11,    ///< no federation shard could answer at all.
+  kEpochSkew = 12,      ///< shard epochs disagree beyond the skew budget
+                        ///< (detail carries the observed skew).
 };
 
 struct Response {
@@ -88,10 +93,20 @@ struct Response {
   ErrorCode code = ErrorCode::kMalformed;
   /// Code-specific operand; 0 when the code defines none. kOutOfRetention /
   /// kOutOfHistory: the oldest epoch a window query can still reach.
+  /// kEpochSkew: the observed cross-shard epoch spread.
   std::uint64_t detail = 0;
   std::string message;
+  /// Degraded-roll-up marker (federation): true everywhere except a partial
+  /// scatter-gather answer, where `missing_shards` lists the fleet shards
+  /// whose contribution is absent from `values`. Single-fleet responses are
+  /// always complete.
+  bool complete = true;
+  std::vector<std::uint32_t> missing_shards;  ///< sorted fleet ids.
 
   static Response success(std::uint64_t epoch, std::vector<double> values);
+  /// A degraded roll-up: still ok, but `values` misses the listed shards.
+  static Response partial(std::uint64_t epoch, std::vector<double> values,
+                          std::vector<std::uint32_t> missing);
   static Response error(ErrorCode code, std::string message,
                         std::uint64_t detail = 0);
 };

@@ -72,6 +72,19 @@ Response QueryEngine::execute(const Request& request) {
   {
     VMP_TRACE_SPAN("serve.snapshot_fetch", "serve");
     latest = store_.latest();
+    if (!latest) {
+      // Empty ring, non-empty ledger: a restarted server that has not
+      // published its first post-restart snapshot yet still owns durable
+      // history, and the ledger tail carries the same cumulative state
+      // bit-for-bit — answer from it rather than claiming no data exists.
+      if (const ledger::Ledger* log = store_.ledger()) {
+        const ledger::Stats stats = log->stats();
+        if (stats.records > 0) {
+          if (const auto tail = log->at_epoch(stats.tail_epoch))
+            latest = std::make_shared<const Snapshot>(to_snapshot(*tail));
+        }
+      }
+    }
   }
   if (!latest)
     return Response::error(ErrorCode::kNoSnapshot,

@@ -57,6 +57,20 @@
 
 namespace vmp::serve {
 
+/// Anything that can answer a Request. The dispatcher, server, and
+/// in-process transport are written against this interface, so the same
+/// wire protocol fronts a single-fleet QueryEngine and the multi-fleet
+/// federate::FederationFrontend alike.
+class QueryHandler {
+ public:
+  virtual ~QueryHandler() = default;
+
+  /// Executes one request; never throws on malformed queries — every failure
+  /// is an error Response. Must be thread-safe (server workers call it
+  /// concurrently).
+  [[nodiscard]] virtual Response execute(const Request& request) = 0;
+};
+
 struct QueryEngineOptions {
   std::size_t cache_capacity = 1024;  ///< total across shards; 0 disables.
   /// Result-cache shard count, clamped to >= 1. Each shard holds
@@ -76,7 +90,7 @@ struct QueryEngineOptions {
   std::function<void()> coalesce_hold;
 };
 
-class QueryEngine {
+class QueryEngine : public QueryHandler {
  public:
   /// Validates the TOU schedule (throws std::invalid_argument). The store
   /// must outlive the engine.
@@ -84,7 +98,7 @@ class QueryEngine {
 
   /// Executes one request; never throws on malformed queries — every failure
   /// is an error Response. Thread-safe.
-  [[nodiscard]] Response execute(const Request& request);
+  [[nodiscard]] Response execute(const Request& request) override;
 
   [[nodiscard]] std::uint64_t cache_hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);

@@ -69,7 +69,7 @@ void ServerOptions::validate() const {
     throw std::invalid_argument("ServerOptions: bad token bucket parameters");
 }
 
-Server::Server(QueryEngine& engine, fleet::Metrics& metrics,
+Server::Server(QueryHandler& engine, fleet::Metrics& metrics,
                ServerOptions options)
     : options_((options.validate(), options)),
       dispatcher_(engine, &metrics),

@@ -68,8 +68,10 @@ struct ServerOptions {
 class Server {
  public:
   /// Binds and listens on 127.0.0.1 and starts the acceptor and workers.
-  /// Throws std::runtime_error when the socket cannot be set up.
-  Server(QueryEngine& engine, fleet::Metrics& metrics,
+  /// `engine` is any QueryHandler — the single-fleet QueryEngine or the
+  /// multi-fleet federation frontend. Throws std::runtime_error when the
+  /// socket cannot be set up.
+  Server(QueryHandler& engine, fleet::Metrics& metrics,
          ServerOptions options = {});
   ~Server();
 

@@ -29,7 +29,7 @@ std::uint64_t read_frame_id(std::string_view frame) {
 
 }  // namespace
 
-Dispatcher::Dispatcher(QueryEngine& engine, fleet::Metrics* metrics)
+Dispatcher::Dispatcher(QueryHandler& engine, fleet::Metrics* metrics)
     : engine_(engine), metrics_(metrics) {}
 
 Response Dispatcher::run(const std::optional<Request>& request,
@@ -126,7 +126,7 @@ std::string Dispatcher::handle_text(std::string_view line) {
   return has_id ? "#" + std::to_string(request_id) + " " + payload : payload;
 }
 
-InProcessTransport::InProcessTransport(QueryEngine& engine,
+InProcessTransport::InProcessTransport(QueryHandler& engine,
                                        fleet::Metrics* metrics)
     : dispatcher_(engine, metrics) {}
 

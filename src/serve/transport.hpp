@@ -28,7 +28,7 @@ namespace vmp::serve {
 
 class Dispatcher {
  public:
-  explicit Dispatcher(QueryEngine& engine, fleet::Metrics* metrics = nullptr);
+  explicit Dispatcher(QueryHandler& engine, fleet::Metrics* metrics = nullptr);
 
   /// Handles one binary request body (unframed); returns the response body.
   /// `trace_id` (the frame's request id, 0 when absent) groups the request's
@@ -48,14 +48,14 @@ class Dispatcher {
   /// payload, "# EOF"-terminated.
   [[nodiscard]] std::optional<std::string> run_command(std::string_view line);
 
-  QueryEngine& engine_;
+  QueryHandler& engine_;
   fleet::Metrics* metrics_;
 };
 
 /// Drives the dispatcher with the server's framing rules, in process.
 class InProcessTransport {
  public:
-  explicit InProcessTransport(QueryEngine& engine,
+  explicit InProcessTransport(QueryHandler& engine,
                               fleet::Metrics* metrics = nullptr);
 
   /// Full binary round trip: a framed request in, a framed response out.

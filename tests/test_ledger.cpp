@@ -588,6 +588,73 @@ TEST(LedgerServe, WindowErrorsCarryTheOldestReachableEpoch) {
   }
 }
 
+TEST(LedgerServe, WindowBoundExactlyAtTheOldestRingEpochStaysInTheRing) {
+  Scratch scratch;
+  auto log = std::make_unique<Ledger>(inline_options(scratch.path));
+  SnapshotStore store(4);
+  store.set_ledger(log.get());
+  for (int t = 1; t <= 12; ++t) store.publish(synthetic_at(t));
+  // Ring holds epochs 9..12; the ledger holds everything.
+  ASSERT_EQ(store.oldest()->epoch, 9u);
+
+  QueryEngine engine(store);
+  // Lower bound exactly at the oldest ring snapshot's time: at_or_before is
+  // inclusive, so this is the last window the ring itself can answer — the
+  // fall-through boundary, one tick after which the ledger takes over.
+  const Response at_edge =
+      engine.execute(window_request(QueryKind::kTenantEnergy, 9.0, 12.0));
+  ASSERT_TRUE(at_edge.ok) << at_edge.message;
+  EXPECT_DOUBLE_EQ(at_edge.values.at(0), 200.0 * (12.0 - 9.0));
+
+  // One instant earlier resolves the bound through the ledger (epoch 8) and
+  // must agree with the arithmetic the ring would have produced.
+  const Response below_edge =
+      engine.execute(window_request(QueryKind::kTenantEnergy, 8.999, 12.0));
+  ASSERT_TRUE(below_edge.ok) << below_edge.message;
+  EXPECT_DOUBLE_EQ(below_edge.values.at(0), 200.0 * (12.0 - 8.0));
+}
+
+TEST(LedgerServe, EmptyRingWithNonEmptyLedgerServesFromTheTail) {
+  Scratch scratch;
+  // First life writes durable history.
+  {
+    auto log = std::make_unique<Ledger>(inline_options(scratch.path));
+    SnapshotStore store(8);
+    store.set_ledger(log.get());
+    for (int t = 1; t <= 20; ++t) store.publish(synthetic_at(t));
+  }
+
+  // Second life: the ledger is attached but the ring was never refilled
+  // (restore_from_ledger not called, no publish yet). Point and window
+  // queries must answer from the ledger tail instead of kNoSnapshot.
+  auto log = std::make_unique<Ledger>(inline_options(scratch.path));
+  SnapshotStore store(8);
+  store.set_ledger(log.get());
+  ASSERT_EQ(store.latest(), nullptr);
+
+  QueryEngine engine(store);
+  const Response point = engine.execute(window_request(QueryKind::kStats, 0, 0));
+  ASSERT_TRUE(point.ok) << point.message;
+  EXPECT_EQ(point.epoch, 20u);  // the ledger tail epoch.
+  EXPECT_DOUBLE_EQ(point.values.at(1), 20.0);  // time_s.
+
+  const Response window =
+      engine.execute(window_request(QueryKind::kTenantEnergy, 5.0, 15.0));
+  ASSERT_TRUE(window.ok) << window.message;
+  EXPECT_DOUBLE_EQ(window.values.at(0), 200.0 * (15.0 - 5.0));
+
+  // An empty ring with an *empty* ledger is still kNoSnapshot.
+  Scratch empty_scratch;
+  auto empty_log = std::make_unique<Ledger>(inline_options(empty_scratch.path));
+  SnapshotStore empty_store(8);
+  empty_store.set_ledger(empty_log.get());
+  QueryEngine empty_engine(empty_store);
+  const Response none =
+      empty_engine.execute(window_request(QueryKind::kStats, 0, 0));
+  ASSERT_FALSE(none.ok);
+  EXPECT_EQ(none.code, ErrorCode::kNoSnapshot);
+}
+
 TEST(LedgerServe, LedgerReachingEpochOneExtendsTheGenesisBaseline) {
   Scratch scratch;
   auto log = std::make_unique<Ledger>(inline_options(scratch.path));

@@ -34,7 +34,13 @@
 //
 //   vmpower query --port 7077 tenant-energy 1 0 120
 //       send one query (binary protocol; --proto text for the line
-//       protocol) and print the response line.
+//       protocol) and print the response line; --timeout-ms bounds how long
+//       the client waits before giving up with a clean timeout error.
+//
+//   vmpower federate --shards 1=7071;2=7072;3=7073 --port 7080
+//       front N running fleet shards with a scatter-gather federation
+//       frontend speaking the same protocol (see the "Federation" README
+//       section); --spin N instead stands the shards up in-process.
 //
 //   vmpower trace --out trace.jsonl
 //       run a short traced fleet + query workload and dump the span ring as
@@ -61,6 +67,9 @@
 
 #include "common/units.hpp"
 #include "common/vm_config.hpp"
+#include "federate/frontend.hpp"
+#include "federate/shard_map.hpp"
+#include "federate/spin.hpp"
 #include "core/accountant.hpp"
 #include "core/collector.hpp"
 #include "core/estimator.hpp"
@@ -116,9 +125,26 @@ commands:
           --ordered        force arrival-order responses even for id-stamped
                            requests (default: out-of-order completion; id-less
                            clients always get arrival order)
-  query   --port P [--proto binary|text] [--id N] <verb> [args...]
+  query   --port P [--proto binary|text] [--id N] [--timeout-ms D] <verb> [args...]
           verbs: vm-power H V | tenant-power T | fleet-power | stats
                  vm-energy H V T0 T1 | tenant-energy T T0 T1 | tenant-cost T T0 T1
+  federate (--shards "F=PORT[,PORT];..." | --spin N) [--port P] [--workers W]
+          [--deadline-ms D] [--retries R] [--backoff-ms B]
+          [--hedge] [--hedge-delay-ms H] [--skew accept|reject] [--max-skew N]
+          [--query "verb args"] [--linger S] [--metrics FILE]
+          [--fleet VM1,... --hosts N --tenants K --duration TICKS --seed N
+           --collect-duration S]   (shard shape under --spin)
+          --shards         fleet-id=endpoint map of running `vmpower serve`
+                           shards; extra comma-separated ports per fleet are
+                           replicas eligible for hedged requests
+          --spin N         stand up N in-process fleet shards instead, meter
+                           them, then federate over them
+          --deadline-ms D  per-shard per-attempt deadline (default 250)
+          --hedge          race a replica when the primary is slow
+          --skew reject    error (code 12) when shard epochs spread more
+                           than --max-skew instead of rolling up at the min
+          --query "..."    answer one query through the frontend and exit;
+                           otherwise serve on --port for --linger seconds
   trace   [--fleet VM1,...] [--hosts N] [--duration TICKS] [--out FILE]
           [--seed N] [--collect-duration S]
   scrape  --port P [--what metrics|trace] [--out FILE]
@@ -547,20 +573,139 @@ int cmd_query(const util::CliArgs& args) {
   const bool with_id = args.has("id");
   const auto request_id =
       with_id ? static_cast<std::uint64_t>(args.get_long("id", 0)) : 0;
+  const long timeout_ms = args.get_long("timeout-ms", 0);
   serve::Client client(port);
+  if (timeout_ms > 0)
+    client.set_timeout(std::chrono::milliseconds(timeout_ms));
   std::string response;
-  if (proto == "text") {
-    response = client.query_text(
-        with_id ? "#" + std::to_string(request_id) + " " + line : line);
-  } else {
-    const auto request = serve::parse_request_text(line);
-    if (!request)
-      throw std::invalid_argument("query: unparseable query '" + line + "'");
-    response = serve::format_response_text(
-        with_id ? client.query_with_id(*request, request_id)
-                : client.query(*request));
+  try {
+    if (proto == "text") {
+      response = client.query_text(
+          with_id ? "#" + std::to_string(request_id) + " " + line : line);
+    } else {
+      const auto request = serve::parse_request_text(line);
+      if (!request)
+        throw std::invalid_argument("query: unparseable query '" + line + "'");
+      response = serve::format_response_text(
+          with_id ? client.query_with_id(*request, request_id)
+                  : client.query(*request));
+    }
+  } catch (const serve::TimeoutError&) {
+    std::fprintf(stderr, "query: no response within %ld ms\n", timeout_ms);
+    return 3;
   }
   std::printf("%s\n", response.c_str());
+  return 0;
+}
+
+int cmd_federate(const util::CliArgs& args) {
+  federate::FrontendOptions fed_options;
+  fed_options.deadline =
+      std::chrono::milliseconds(args.get_long("deadline-ms", 250));
+  fed_options.retries =
+      static_cast<std::uint32_t>(args.get_long("retries", 1));
+  fed_options.backoff =
+      std::chrono::milliseconds(args.get_long("backoff-ms", 10));
+  fed_options.hedge = args.has("hedge");
+  fed_options.hedge_delay =
+      std::chrono::milliseconds(args.get_long("hedge-delay-ms", 50));
+  fed_options.max_epoch_skew =
+      static_cast<std::uint64_t>(args.get_long("max-skew", 1));
+  const std::string skew = args.get("skew", "accept");
+  if (skew == "reject")
+    fed_options.skew_policy = federate::SkewPolicy::kReject;
+  else if (skew != "accept")
+    throw std::invalid_argument("federate: --skew must be accept or reject");
+
+  fleet::Metrics metrics;
+  obs::InvariantMonitor monitor(metrics);
+  fed_options.metrics = &metrics;
+  fed_options.monitor = &monitor;
+
+  // The shard tier: either a map of externally running `vmpower serve`
+  // shards, or --spin N in-process fleets metered right here.
+  std::vector<std::unique_ptr<federate::InProcessShard>> spun;
+  federate::ShardMap map;
+  if (args.has("shards")) {
+    map = federate::ShardMap::parse(args.require("shards"));
+  } else {
+    const auto count = static_cast<std::size_t>(args.get_long("spin", 3));
+    if (count == 0)
+      throw std::invalid_argument("federate: --spin needs at least 1 shard");
+    fleet::FleetOptions options;
+    if (args.has("fleet")) {
+      options.fleet_per_host = fleet_for(args);
+    } else {
+      const auto catalogue = common::paper_vm_catalogue();
+      options.fleet_per_host = {catalogue[0], catalogue[1]};
+    }
+    options.hosts = static_cast<std::size_t>(args.get_long("hosts", 2));
+    options.threads = static_cast<std::size_t>(args.get_long("threads", 2));
+    options.tenants = static_cast<std::size_t>(args.get_long("tenants", 2));
+    options.spec = machine_for(args);
+    options.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+    options.validate();
+
+    core::CollectionOptions collect;
+    collect.duration_s = args.get_double("collect-duration", 30.0);
+    collect.seed = options.seed;
+    std::printf("offline: training the shared host profile (%.0f s)...\n",
+                collect.duration_s);
+    const auto dataset = core::collect_offline_dataset(
+        options.spec, options.fleet_per_host, collect);
+
+    const auto ticks =
+        static_cast<std::uint64_t>(args.get_double("duration", 60.0));
+    std::vector<federate::FleetShard> shards;
+    for (std::size_t i = 0; i < count; ++i) {
+      federate::InProcessShardOptions shard_options;
+      shard_options.fleet = static_cast<std::uint32_t>(i + 1);
+      auto shard =
+          std::make_unique<federate::InProcessShard>(shard_options);
+      fleet::FleetOptions per_shard = options;
+      per_shard.seed = options.seed + i;  // independent trajectories.
+      fleet::FleetEngine engine(per_shard, dataset);
+      shard->store().attach(engine);
+      engine.run(ticks);
+      std::printf("shard %zu: fleet %u on 127.0.0.1:%u (%llu ticks)\n", i + 1,
+                  shard->fleet(), shard->port(),
+                  static_cast<unsigned long long>(ticks));
+      shards.push_back(federate::FleetShard{shard->fleet(), {shard->port()}});
+      spun.push_back(std::move(shard));
+    }
+    map = federate::ShardMap(std::move(shards));
+  }
+
+  federate::FederationFrontend frontend(std::move(map), fed_options);
+  if (args.has("query")) {
+    const auto request = serve::parse_request_text(args.require("query"));
+    if (!request)
+      throw std::invalid_argument("federate: unparseable query '" +
+                                  args.require("query") + "'");
+    std::printf("%s\n",
+                serve::format_response_text(frontend.execute(*request))
+                    .c_str());
+  } else {
+    serve::ServerOptions server_options;
+    server_options.port =
+        static_cast<std::uint16_t>(args.get_long("port", 7080));
+    server_options.workers =
+        static_cast<std::size_t>(args.get_long("workers", 2));
+    server_options.validate();
+    serve::Server server(frontend, metrics, server_options);
+    const double linger = args.get_double("linger", 60.0);
+    std::printf("federating %zu shards on 127.0.0.1:%u for %.0f s...\n",
+                frontend.map().size(), server.port(), linger);
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger));
+    server.stop();
+  }
+
+  if (args.has("metrics")) {
+    const std::string metrics_path = args.require("metrics");
+    metrics.write_prometheus(metrics_path);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  for (auto& shard : spun) shard->stop();
   return 0;
 }
 
@@ -742,6 +887,7 @@ int main(int argc, char** argv) {
     if (command == "fleet") return cmd_fleet(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "query") return cmd_query(args);
+    if (command == "federate") return cmd_federate(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "scrape") return cmd_scrape(args);
     if (command == "ledger") return cmd_ledger(args);
