@@ -18,6 +18,11 @@ using Player = std::size_t;
 
 inline constexpr std::size_t kMaxPlayers = 30;
 
+/// Player ceiling of the sampled Shapley tier (shapley_sampled.hpp), which
+/// works on std::uint64_t membership masks instead of Coalition and therefore
+/// is not bound by Coalition::Mask. Exact kernels stay capped at kMaxPlayers.
+inline constexpr std::size_t kMaxSampledPlayers = 64;
+
 /// An immutable set of players, represented as a bitmask.
 class Coalition {
  public:

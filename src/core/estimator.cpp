@@ -25,7 +25,9 @@ std::vector<common::StateVector> states_of(std::span<const VmSample> vms) {
 void require_input(std::span<const VmSample> vms, double adjusted_power_w) {
   if (vms.empty())
     throw std::invalid_argument("PowerEstimator: need at least one VM");
-  if (vms.size() > kMaxPlayers)
+  // The sampled tier meters up to kMaxSampledPlayers; exact kernels enforce
+  // their own kMaxPlayers bound at dispatch.
+  if (vms.size() > kMaxSampledPlayers)
     throw std::invalid_argument("PowerEstimator: too many VMs");
   if (adjusted_power_w < 0.0)
     throw std::invalid_argument("PowerEstimator: adjusted power must be >= 0");
@@ -163,14 +165,31 @@ std::vector<double> ShapleyVhcEstimator::estimate(std::span<const VmSample> vms,
   const VhcComboMask full_combo = prepare_tick(vms);
   detect_symmetry_into(player_key_, states_, groups_);
 
-  // Kernel selection: any repeated (type, state) pair shrinks the
-  // composition space below 2^n, so collapse wins whenever it applies; the
-  // batched sweep covers fully distinguishable fleets.
+  // Kernel selection, three tiers: any repeated (type, state) pair shrinks
+  // the composition space below 2^n, so collapse wins whenever it applies;
+  // the batched sweep covers fully distinguishable fleets; and once the
+  // composition count exceeds the configured threshold (a fully
+  // heterogeneous host) exactness is traded for the bounded-time sampled
+  // tier with confidence intervals.
   VMP_TRACE_SPAN("core.shapley_kernel", "core");
-  if (groups_.group_count() < vms.size()) {
+  using Kernel = SampledKernelConfig::Kernel;
+  const Kernel forced = sampled_config_.kernel;
+  if (forced == Kernel::kSampled ||
+      (forced == Kernel::kAuto &&
+       groups_.composition_count() > sampled_config_.composition_threshold)) {
+    last_kernel_ = "sampled";
+    return estimate_sampled(adjusted_power_w, full_combo);
+  }
+  // Collapsed enumerates compositions, not masks, so it has no kMaxPlayers
+  // bound: 64 VMs of a few types stay exact. Only the 2^n sweep does.
+  if (forced == Kernel::kCollapsed ||
+      (forced == Kernel::kAuto && groups_.group_count() < vms.size())) {
     last_kernel_ = "collapsed";
     return estimate_collapsed(adjusted_power_w);
   }
+  if (vms.size() > kMaxPlayers)
+    throw std::invalid_argument(
+        "PowerEstimator: too many VMs for the mask-sweep kernel");
   last_kernel_ = "sweep";
   return estimate_sweep(adjusted_power_w, full_combo);
 }
@@ -317,6 +336,67 @@ std::vector<double> ShapleyVhcEstimator::estimate_collapsed(
   return phi;
 }
 
+void ShapleyVhcEstimator::build_contribution_table(VhcComboMask full_combo) {
+  const std::size_t n = states_.size();
+  const std::size_t combo_count = std::size_t{1} << universe_.size();
+  p_.assign(n * combo_count, 0.0);
+  for (VhcComboMask c = full_combo;; c = (c - 1) & full_combo) {
+    if (c != 0) {
+      const auto w = combo_weights_.effective_weights(c);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (player_bit_[i] == 0 || (player_bit_[i] & c) == 0) continue;
+        p_[i * combo_count + c] = states_[i].dot(w.subspan(
+            player_vhc_[i] * common::kNumComponents, common::kNumComponents));
+      }
+    }
+    if (c == 0) break;
+  }
+}
+
+std::vector<double> ShapleyVhcEstimator::estimate_sampled(
+    double adjusted_power_w, VhcComboMask full_combo) {
+  const std::size_t n = states_.size();
+  const std::size_t combo_count = std::size_t{1} << universe_.size();
+
+  // Same batched worth backend as the table-less sweep: build P once
+  // (serial), then every worth query is a read-only gather — safe for the
+  // kernel's parallel batches. The VscTable is bypassed on this tier (its
+  // probes would serialize the batch); the tier is approximation-only and
+  // the measurement anchor still pins Σφ.
+  build_contribution_table(full_combo);
+  const SampledWorthFn worth = [&](std::uint64_t members) {
+    VhcComboMask combo = 0;
+    for (std::uint64_t m = members; m != 0; m &= m - 1)
+      combo |= player_bit_[static_cast<std::size_t>(std::countr_zero(m))];
+    if (combo == 0) return 0.0;  // all members idle.
+    double sum = 0.0;
+    for (std::uint64_t m = members; m != 0; m &= m - 1)
+      sum += p_[static_cast<std::size_t>(std::countr_zero(m)) * combo_count +
+                combo];
+    return sum;
+  };
+  const std::uint64_t grand_mask =
+      n == 64 ? ~0ULL : ((std::uint64_t{1} << n) - 1);
+  const double grand = anchor_ ? adjusted_power_w : worth(grand_mask);
+
+  SampledShapleyOptions options = sampled_config_.sampling;
+  // Decorrelate consecutive ticks: mix a per-estimator call counter into the
+  // seed so ticks do not reuse draws, while a fixed (config, call order)
+  // still replays byte-identically at any thread count.
+  options.seed += 0x632be59bd9b4e019ULL * static_cast<std::uint64_t>(
+                                              ++estimate_calls_);
+  sampler_.set_thread_pool(n >= pool_min_players_ ? pool_ : nullptr);
+  SampledShapleyResult result = sampler_.run(n, worth, grand, options);
+
+  worth_queries_ += result.worth_evaluations;
+  last_sampled_ = SampledTickStats{
+      result.max_halfwidth_w,    result.sum_halfwidth_w,
+      result.efficiency_gap_w,   result.worth_evaluations,
+      result.rounds,             result.unseen_strata,
+      to_string(result.stopped_by)};
+  return std::move(result.phi);
+}
+
 std::vector<double> ShapleyVhcEstimator::estimate_sweep(
     double adjusted_power_w, VhcComboMask full_combo) {
   const std::size_t n = states_.size();
@@ -330,18 +410,7 @@ std::vector<double> ShapleyVhcEstimator::estimate_sweep(
     // where c is the coalition's combo and P[i][c] = c_i · w_c[vhc_i] — one
     // contiguous multiply-add pass, no dispatch, no allocation.
     const std::size_t combo_count = std::size_t{1} << num_vhcs;
-    p_.assign(n * combo_count, 0.0);
-    for (VhcComboMask c = full_combo;; c = (c - 1) & full_combo) {
-      if (c != 0) {
-        const auto w = combo_weights_.effective_weights(c);
-        for (std::size_t i = 0; i < n; ++i) {
-          if (player_bit_[i] == 0 || (player_bit_[i] & c) == 0) continue;
-          p_[i * combo_count + c] = states_[i].dot(w.subspan(
-              player_vhc_[i] * common::kNumComponents, common::kNumComponents));
-        }
-      }
-      if (c == 0) break;
-    }
+    build_contribution_table(full_combo);
 
     for (std::size_t mask = 1; mask < n_masks; ++mask) {
       if (anchor_ && mask == n_masks - 1) {

@@ -31,10 +31,43 @@
 #include "core/linear_approx.hpp"
 #include "core/shapley.hpp"
 #include "core/shapley_fast.hpp"
+#include "core/shapley_sampled.hpp"
 #include "core/vhc.hpp"
 #include "sim/coalition_probe.hpp"
 
 namespace vmp::core {
+
+/// Kernel-selection policy for ShapleyVhcEstimator, plus the sampling
+/// options of the approximate tier.
+struct SampledKernelConfig {
+  enum class Kernel : std::uint8_t {
+    kAuto,       ///< pick by symmetry and composition count (default).
+    kCollapsed,  ///< force the composition enumeration (exact).
+    kSweep,      ///< force the 2^n mask sweep (exact).
+    kSampled,    ///< force the stratified sampling tier (approximate).
+  };
+  Kernel kernel = Kernel::kAuto;
+  /// Auto mode falls through to the sampled tier once the exact kernels
+  /// would evaluate more than this many compositions — 2^16 keeps every
+  /// paper-sized host (n <= 16, Sec. V-B) exact while an all-distinct host
+  /// beyond that answers approximately in bounded time.
+  std::size_t composition_threshold = std::size_t{1} << 16;
+  SampledShapleyOptions sampling;
+};
+
+/// Per-tick diagnostics of the sampled tier; meaningful only when the last
+/// estimate() reported last_kernel() == "sampled".
+struct SampledTickStats {
+  double max_halfwidth_w = 0.0;
+  double sum_halfwidth_w = 0.0;
+  /// |Σφ − anchored grand| before normalization; the invariant monitor
+  /// checks it against sum_halfwidth_w.
+  double efficiency_gap_w = 0.0;
+  std::size_t worth_evaluations = 0;
+  std::size_t rounds = 0;
+  std::size_t unseen_strata = 0;
+  std::string_view stopped_by = "none";  ///< always a literal.
+};
 
 /// One running VM's telemetry at the estimation instant.
 struct VmSample {
@@ -90,10 +123,29 @@ class ShapleyVhcEstimator final : public PowerEstimator {
   }
 
   /// Which kernel the last estimate() call dispatched to: "collapsed",
-  /// "sweep", "legacy", or "none" before the first call. Feeds the fleet's
-  /// fast-path selection counters.
+  /// "sweep", "sampled", "legacy", or "none" before the first call. Feeds
+  /// the fleet's fast-path selection counters.
   [[nodiscard]] std::string_view last_kernel() const noexcept {
     return last_kernel_;
+  }
+
+  /// Kernel-selection policy and sampling knobs. The sampled tier runs on
+  /// the dense combo-weight cache only (<= ComboWeightCache::kMaxDenseVhcs
+  /// VHCs) and bypasses the VscTable — it is approximation-only, with the
+  /// measurement anchor still pinning Σφ. Consecutive estimate() calls mix a
+  /// call counter into the configured seed so ticks do not share draws;
+  /// the sequence is still reproducible for a fixed (config, call order).
+  void set_sampled_kernel(const SampledKernelConfig& config) noexcept {
+    sampled_config_ = config;
+  }
+  [[nodiscard]] const SampledKernelConfig& sampled_kernel() const noexcept {
+    return sampled_config_;
+  }
+
+  /// Diagnostics of the most recent sampled-tier tick (CI half-widths,
+  /// pre-normalization efficiency gap, evaluation counts, stop reason).
+  [[nodiscard]] const SampledTickStats& last_sampled() const noexcept {
+    return last_sampled_;
   }
 
   /// Opts the pure-arithmetic (table-less) mask sweep into thread-parallel
@@ -169,6 +221,14 @@ class ShapleyVhcEstimator final : public PowerEstimator {
   [[nodiscard]] std::vector<double> estimate_collapsed(double adjusted_power_w);
   [[nodiscard]] std::vector<double> estimate_sweep(double adjusted_power_w,
                                                    VhcComboMask full_combo);
+  /// Stratified sampling tier (shapley_sampled.hpp) over the same batched
+  /// per-player contribution table as the table-less sweep.
+  [[nodiscard]] std::vector<double> estimate_sampled(double adjusted_power_w,
+                                                     VhcComboMask full_combo);
+  /// Fills p_ with P[i][combo] = state_i · w_combo[vhc_i] for every
+  /// sub-combo of full_combo — the shared worth backend of the batched
+  /// sweep and the sampled tier.
+  void build_contribution_table(VhcComboMask full_combo);
   /// Pre-kernel closure path, kept for universes too large for the dense
   /// combo-weight cache.
   [[nodiscard]] std::vector<double> estimate_legacy(
@@ -212,6 +272,10 @@ class ShapleyVhcEstimator final : public PowerEstimator {
   std::string comp_sig_, comp_sig_scratch_;
   util::ThreadPool* pool_ = nullptr;
   std::size_t pool_min_players_ = 14;
+  SampledKernelConfig sampled_config_;
+  SampledTickStats last_sampled_;
+  SampledShapley sampler_;
+  std::size_t estimate_calls_ = 0;  ///< sampled-tier seed decorrelation.
 };
 
 /// Exact Shapley against the simulator's coalition-worth oracle. The probe's

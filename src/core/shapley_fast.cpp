@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 
@@ -67,8 +68,16 @@ void run_mask_chunks(
 }  // namespace
 
 std::size_t SymmetryGroups::composition_count() const noexcept {
+  // Saturate instead of wrapping: 64 all-distinct players would otherwise
+  // multiply 2^64 → 0 and defeat the "too many compositions, go sampled"
+  // kernel-selection threshold.
   std::size_t count = 1;
-  for (const auto& group : members) count *= group.size() + 1;
+  for (const auto& group : members) {
+    const std::size_t factor = group.size() + 1;
+    if (count > std::numeric_limits<std::size_t>::max() / factor)
+      return std::numeric_limits<std::size_t>::max();
+    count *= factor;
+  }
   return count;
 }
 

@@ -60,6 +60,8 @@ struct SymmetryGroups {
   }
   /// Π_j (g_j + 1): worth evaluations the collapsed solver performs. Always
   /// <= 2^n, with equality exactly when every player is its own group.
+  /// Saturates at SIZE_MAX instead of wrapping (64 distinct players), so the
+  /// value stays safe to compare against kernel-selection thresholds.
   [[nodiscard]] std::size_t composition_count() const noexcept;
 
   void clear() noexcept {

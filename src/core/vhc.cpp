@@ -45,7 +45,10 @@ VhcUniverse VhcUniverse::from_fleet(std::span<const common::VmConfig> fleet) {
 VhcPartition::VhcPartition(const VhcUniverse& universe,
                            std::vector<common::VmTypeId> vm_types)
     : num_vhcs_(universe.size()) {
-  if (vm_types.size() > kMaxPlayers)
+  // The sampled kernel meters up to kMaxSampledPlayers VMs; only the
+  // Coalition-typed lookups below (combo_of, aggregate — legacy/exact paths)
+  // stay bounded by kMaxPlayers.
+  if (vm_types.size() > kMaxSampledPlayers)
     throw std::invalid_argument("VhcPartition: too many VMs");
   groups_.reserve(vm_types.size());
   for (common::VmTypeId type : vm_types)

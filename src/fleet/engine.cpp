@@ -53,6 +53,7 @@ FleetEngine::FleetEngine(FleetOptions options,
   agent_options.max_retries = options_.max_retries;
   agent_options.retry_backoff_base = options_.retry_backoff_base;
   agent_options.dropout_ticks = options_.dropout_ticks;
+  agent_options.kernel = options_.kernel;
 
   agents_.reserve(options_.hosts);
   host_ledgers_.reserve(options_.hosts);
@@ -130,6 +131,32 @@ void FleetEngine::aggregate(const HostTickResult& result) {
                      std::string(result.kernel) + "\"}",
                  "Host ticks dispatched to each Shapley kernel fast path")
         .inc();
+  if (!result.sampled_stop.empty()) {
+    metrics_
+        .counter("vmpower_shapley_sampled_ticks_total",
+                 "Host ticks answered by the sampled Shapley tier")
+        .inc();
+    metrics_
+        .counter("vmpower_shapley_sampled_stop_total{reason=\"" +
+                     std::string(result.sampled_stop) + "\"}",
+                 "Sampled-tier ticks by anytime stop rule")
+        .inc();
+    metrics_
+        .histogram("vmpower_shapley_sampled_halfwidth_w",
+                   "Per-tick max per-VM confidence half-width (W)", 0.0, 0.5,
+                   25)
+        .observe(result.sampled_max_halfwidth_w);
+    metrics_
+        .histogram("vmpower_shapley_sampled_evals",
+                   "Worth evaluations per sampled tick", 0.0, 4096.0, 25)
+        .observe(static_cast<double>(result.sampled_evals));
+    // The sampled tier's own efficiency check: the pre-normalization gap
+    // must sit inside the reported confidence bound.
+    monitor_.observe_sampled_ci(result.tick, result.host, result.sampled_gap_w,
+                                result.sampled_sum_halfwidth_w,
+                                result.sampled_max_halfwidth_w,
+                                result.sampled_evals);
+  }
 }
 
 void FleetEngine::run(std::uint64_t ticks) {
@@ -152,6 +179,12 @@ void FleetEngine::run(std::uint64_t ticks) {
   Gauge& depth_watermark =
       metrics_.gauge("vmpower_fleet_queue_high_watermark",
                      "Deepest the sample queue has ever run");
+  // Register the sampled-tier tick counter up front so scrapes expose the
+  // family (at zero) even while every host still answers exactly; the
+  // labeled counters and invariant gauges appear with the first sampled
+  // tick.
+  metrics_.counter("vmpower_shapley_sampled_ticks_total",
+                   "Host ticks answered by the sampled Shapley tier");
 
   std::vector<HostTickResult> results;
   results.reserve(options_.hosts);

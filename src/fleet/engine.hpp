@@ -33,7 +33,7 @@
 #include "fleet/host_agent.hpp"
 #include "fleet/metrics.hpp"
 #include "fleet/queue.hpp"
-#include "fleet/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 #include "obs/invariants.hpp"
 #include "sim/machine_spec.hpp"
 
@@ -58,6 +58,10 @@ struct FleetOptions {
   std::uint32_t max_retries = 3;
   std::chrono::microseconds retry_backoff_base{100};
   std::uint64_t dropout_ticks = 3;
+
+  /// Shapley kernel selection + sampled-tier knobs, applied to every host's
+  /// estimator (each host mixes its own seed into the sampling streams).
+  core::SampledKernelConfig kernel;
 
   /// Warn thresholds for the runtime invariant monitors (efficiency
   /// residual, table hit rate, queue occupancy).
@@ -160,7 +164,7 @@ class FleetEngine {
   std::vector<std::unique_ptr<core::EnergyAccountant>> host_ledgers_;
   core::MultiHostAccountant tenants_;
   BoundedQueue<HostTickResult> queue_;
-  ThreadPool pool_;
+  util::ThreadPool pool_;
   Metrics metrics_;
   obs::InvariantMonitor monitor_;  ///< must follow metrics_ (init order).
   TickObserver observer_;

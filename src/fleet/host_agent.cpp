@@ -20,6 +20,14 @@ HostAgent::HostAgent(std::uint32_t host_id, const sim::MachineSpec& spec,
       // v(S, C) table, approximation for unobserved states. The estimator's
       // cross-tick memo makes the per-tick lookups cheap.
       estimator_(dataset.universe, dataset.approximation, dataset.table) {
+  // Per-host draw decorrelation for the sampled tier: hosts share one fleet
+  // seed knob but must not share coalition samples. No thread pool is given
+  // to the estimator — sample() itself runs as an engine pool task, and a
+  // nested wait would violate util::ThreadPool's nesting contract.
+  core::SampledKernelConfig kernel = options_.kernel;
+  kernel.sampling.seed += 0x9e3779b97f4a7c15ULL * seed;
+  estimator_.set_sampled_kernel(kernel);
+
   const auto benchmarks = wl::spec_subset();
   vm_ids_.reserve(fleet.size());
   for (std::size_t i = 0; i < fleet.size(); ++i) {
@@ -105,6 +113,14 @@ HostTickResult HostAgent::sample(std::uint64_t tick,
                                       est_start)
                                       .count();
         result.kernel = estimator_.last_kernel();
+        if (result.kernel == "sampled") {
+          const core::SampledTickStats& stats = estimator_.last_sampled();
+          result.sampled_max_halfwidth_w = stats.max_halfwidth_w;
+          result.sampled_sum_halfwidth_w = stats.sum_halfwidth_w;
+          result.sampled_gap_w = stats.efficiency_gap_w;
+          result.sampled_evals = stats.worth_evaluations;
+          result.sampled_stop = stats.stopped_by;
+        }
       }
 
       // Stale ticks are estimates against old telemetry; only a fully fresh

@@ -13,7 +13,7 @@
 #include "core/collector.hpp"
 #include "fleet/faults.hpp"
 #include "fleet/queue.hpp"
-#include "fleet/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vmp::fleet {
 namespace {
@@ -68,13 +68,13 @@ TEST(BoundedQueue, CloseWakesEveryone) {
 // --- ThreadPool -------------------------------------------------------------
 
 TEST(ThreadPool, RunsEverySubmittedTask) {
-  ThreadPool pool(3);
+  util::ThreadPool pool(3);
   EXPECT_EQ(pool.thread_count(), 3u);
   std::atomic<int> ran{0};
   for (int i = 0; i < 100; ++i) pool.submit([&] { ++ran; });
   pool.wait_idle();
   EXPECT_EQ(ran, 100);
-  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(util::ThreadPool(0), std::invalid_argument);
 }
 
 // --- Fault injection --------------------------------------------------------

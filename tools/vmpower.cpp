@@ -98,17 +98,30 @@ commands:
   collect --fleet VM1,VM2,...  --out FILE [--duration S] [--seed N] [--machine xeon|pentium]
   train   --table FILE --out FILE [--ridge L]
   meter   --fleet VM1,... --approx FILE [--duration S] [--seed N] [--csv FILE]
+          [--kernel K] [--samples N] [--halfwidth W] [--budget-ms D]
   bill    --fleet VM1,... --approx FILE [--duration S] [--tariff $/kWh] [--idle-policy none|equal|proportional]
+          [--kernel K] [--samples N] [--halfwidth W] [--budget-ms D]
   info    --approx FILE
   fleet   --fleet VM1,... [--hosts N] [--threads T] [--duration S] [--tenants K]
           [--seed N] [--tariff $/kWh] [--collect-duration S]
           [--inject-faults meter:P,dropout:P,stale:P] [--max-retries N]
           [--backpressure block|drop-oldest] [--queue-capacity N]
+          [--kernel K] [--samples N] [--halfwidth W] [--budget-ms D]
           [--checkpoint FILE] [--metrics FILE] [--trace] [--trace-out FILE]
+          --kernel K       Shapley kernel: auto (default; exact collapsed/
+                           sweep below the composition threshold, sampled
+                           above), or force collapsed|sweep|sampled
+          --samples N      sampled tier: worth-evaluation budget per tick
+          --halfwidth W    sampled tier: stop once every VM's confidence
+                           half-width is <= W watts
+          --budget-ms D    sampled tier: wall-clock budget per tick
+                           (first stop rule hit wins; --seed keys the
+                           deterministic draw streams)
   serve   --fleet VM1,... [--hosts N] [--threads T] [--duration S] [--tenants K]
           [--port P] [--workers W] [--linger S] [--retention N]
           [--request-queue N] [--tokens-per-s R] [--burst B]
           [--cache N] [--cache-shards K] [--coalesce 0|1] [--ordered]
+          [--kernel K] [--samples N] [--halfwidth W] [--budget-ms D]
           [--offpeak-rate $/kWh] [--peak-rate $/kWh] [--peak-hours H0-H1]
           [--seconds-per-hour S] [--seed N] [--collect-duration S]
           [--ledger DIR] [--segment-records N] [--checkpoint FILE]
@@ -184,6 +197,31 @@ std::vector<common::VmConfig> fleet_for(const util::CliArgs& args) {
   return fleet;
 }
 
+/// Parses the Shapley kernel knobs shared by meter/bill/fleet/serve:
+/// --kernel auto|collapsed|sweep|sampled plus the sampled tier's anytime
+/// stop rules (--samples, --halfwidth, --budget-ms). --seed doubles as the
+/// sampling seed, so sampled runs are reproducible from the CLI.
+core::SampledKernelConfig kernel_for(const util::CliArgs& args) {
+  core::SampledKernelConfig config;
+  using Kernel = core::SampledKernelConfig::Kernel;
+  const std::string kernel = args.get("kernel", "auto");
+  if (kernel == "collapsed") config.kernel = Kernel::kCollapsed;
+  else if (kernel == "sweep") config.kernel = Kernel::kSweep;
+  else if (kernel == "sampled") config.kernel = Kernel::kSampled;
+  else if (kernel != "auto")
+    throw std::invalid_argument(
+        "unknown --kernel '" + kernel +
+        "' (expected auto, collapsed, sweep, or sampled)");
+  config.sampling.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  config.sampling.max_samples =
+      static_cast<std::size_t>(args.get_long("samples", 60'000));
+  config.sampling.target_halfwidth_w = args.get_double("halfwidth", 0.0);
+  const long budget_ms = args.get_long("budget-ms", 0);
+  config.sampling.budget_ns =
+      budget_ms > 0 ? static_cast<std::uint64_t>(budget_ms) * 1'000'000ULL : 0;
+  return config;
+}
+
 /// Arms the global tracer when --trace or --trace-out is given; returns
 /// whether a dump was requested.
 bool arm_tracer(const util::CliArgs& args) {
@@ -251,6 +289,7 @@ int cmd_meter(const util::CliArgs& args, bool billing) {
   const auto approx = core::load_approximation(args.require("approx"));
   const core::VhcUniverse universe = core::VhcUniverse::from_fleet(fleet);
   core::ShapleyVhcEstimator estimator(universe, approx);
+  estimator.set_sampled_kernel(kernel_for(args));
 
   sim::PhysicalMachine machine(
       machine_for(args), static_cast<std::uint64_t>(args.get_long("seed", 1)));
@@ -288,6 +327,12 @@ int cmd_meter(const util::CliArgs& args, bool billing) {
       std::printf("t=%6.0f adj=%7.2fW ", t, adjusted);
       for (std::size_t i = 0; i < phi.size(); ++i)
         std::printf(" vm%u=%6.2fW", samples[i].vm_id, phi[i]);
+      if (estimator.last_kernel() == "sampled") {
+        const auto& stats = estimator.last_sampled();
+        std::printf("  [sampled ci=%.3fW evals=%zu stop=%s]",
+                    stats.max_halfwidth_w, stats.worth_evaluations,
+                    std::string(stats.stopped_by).c_str());
+      }
       std::printf("\n");
     }
     if (csv) {
@@ -326,6 +371,7 @@ int cmd_fleet(const util::CliArgs& args) {
       static_cast<std::uint32_t>(args.get_long("max-retries", 3));
   options.queue_capacity =
       static_cast<std::size_t>(args.get_long("queue-capacity", 0));
+  options.kernel = kernel_for(args);
   if (args.has("inject-faults"))
     options.faults = fleet::parse_fault_spec(args.require("inject-faults"));
   const std::string backpressure = args.get("backpressure", "block");
@@ -427,6 +473,7 @@ int cmd_serve(const util::CliArgs& args) {
   options.tenants = static_cast<std::size_t>(args.get_long("tenants", 3));
   options.spec = machine_for(args);
   options.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  options.kernel = kernel_for(args);
   options.validate();
 
   serve::QueryEngineOptions query_options;
@@ -644,6 +691,7 @@ int cmd_federate(const util::CliArgs& args) {
     options.tenants = static_cast<std::size_t>(args.get_long("tenants", 2));
     options.spec = machine_for(args);
     options.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+    options.kernel = kernel_for(args);
     options.validate();
 
     core::CollectionOptions collect;
