@@ -34,6 +34,10 @@
 #include "core/collector.hpp"
 #include "fleet/engine.hpp"
 #include "obs/trace.hpp"
+#include "serve/protocol.hpp"
+#include "serve/query.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/transport.hpp"
 #include "util/table.hpp"
 
 using namespace vmp;
@@ -80,9 +84,27 @@ void run_grid(const char* banner, const core::OfflineDataset& dataset,
   table.print();
 }
 
-// Disarmed-vs-armed tracer latency on one fixed fleet configuration. Reps
-// alternate between the two arms so clock drift and cache warm-up hit both
-// equally; the minimum wall per arm is the least-noisy estimate.
+// Wire-propagation cost on the serve path: every query carries a full trace
+// context block (id + trace id + parent span + budget) through the same
+// Dispatcher the TCP workers run, so the armed-vs-disarmed delta is the cost
+// of adopting the remote context and recording the per-request spans, and
+// the disarmed number proves propagation idles at one relaxed load per span
+// site. Returns the minimum per-query wall in microseconds.
+double run_propagated_queries(serve::InProcessTransport& transport,
+                              const std::string& frame, std::uint64_t queries) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < queries; ++i)
+    (void)transport.roundtrip_binary(frame);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count() *
+         1e6 / static_cast<double>(queries);
+}
+
+// Disarmed-vs-armed tracer latency on one fixed fleet configuration plus the
+// serve-path propagation arms. Reps alternate between the arms so clock
+// drift and cache warm-up hit both equally; the minimum wall per arm is the
+// least-noisy estimate.
 int run_tracing_overhead(bool quick) {
   const std::vector<common::VmConfig> fleet = {common::paper_vm_type(1),
                                                common::paper_vm_type(2)};
@@ -110,18 +132,62 @@ int run_tracing_overhead(bool quick) {
   }
   tracer.set_enabled(false);
 
+  // Serve-path propagation: a tiny snapshot keeps the engine cost flat so the
+  // delta isolates the trace-context decode + span recording per query.
+  serve::SnapshotStore store(8);
+  serve::Snapshot snapshot;
+  snapshot.tick = 1;
+  snapshot.time_s = 1.0;
+  snapshot.vms = {{1, 1, 1, 10.0, 10.0}, {1, 2, 2, 20.0, 20.0}};
+  snapshot.tenants = {{1, 10.0, 10.0}, {2, 20.0, 20.0}};
+  snapshot.total_power_w = 30.0;
+  snapshot.total_energy_j = 30.0;
+  store.publish(snapshot);
+  serve::QueryEngine engine(store, {});
+  serve::InProcessTransport transport(engine, nullptr);
+  serve::Request request;
+  request.kind = serve::QueryKind::kFleetPower;
+  serve::TraceContextWire wire;
+  wire.trace_id = 42;
+  wire.parent_span = 7;
+  wire.budget_us = 250000;
+  const std::string traced_frame = serve::encode_frame_with_trace(
+      serve::encode_request(request), 1, wire);
+  const std::uint64_t queries = quick ? 5000 : 50000;
+  double prop_disarmed_us = 1e300;
+  double prop_armed_us = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    tracer.set_enabled(false);
+    prop_disarmed_us = std::min(
+        prop_disarmed_us, run_propagated_queries(transport, traced_frame,
+                                                 queries));
+    tracer.set_enabled(true);
+    tracer.clear();
+    prop_armed_us = std::min(
+        prop_armed_us, run_propagated_queries(transport, traced_frame,
+                                              queries));
+  }
+  tracer.set_enabled(false);
+
   const double disarmed_us = disarmed_wall * 1e6 / static_cast<double>(ticks);
   const double armed_us = armed_wall * 1e6 / static_cast<double>(ticks);
   const double overhead_pct = (armed_us / disarmed_us - 1.0) * 100.0;
+  const double prop_overhead_pct =
+      (prop_armed_us / prop_disarmed_us - 1.0) * 100.0;
   std::printf(
       "{\"benchmark\":\"fleet_tracing_overhead\","
       "\"tracing_compiled\":%s,\"hosts\":%zu,\"threads\":%zu,"
       "\"vms_per_host\":%zu,\"ticks\":%llu,\"reps\":%d,"
       "\"disarmed_us_per_tick\":%.2f,\"armed_us_per_tick\":%.2f,"
-      "\"armed_overhead_pct\":%.2f}\n",
+      "\"armed_overhead_pct\":%.2f,"
+      "\"propagation_queries\":%llu,"
+      "\"propagation_disarmed_us_per_query\":%.3f,"
+      "\"propagation_armed_us_per_query\":%.3f,"
+      "\"propagation_armed_overhead_pct\":%.2f}\n",
       VMPOWER_TRACING_COMPILED ? "true" : "false", hosts, threads, fleet.size(),
       static_cast<unsigned long long>(ticks), reps, disarmed_us, armed_us,
-      overhead_pct);
+      overhead_pct, static_cast<unsigned long long>(queries), prop_disarmed_us,
+      prop_armed_us, prop_overhead_pct);
   return 0;
 }
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 
 namespace vmp::federate {
@@ -77,10 +78,30 @@ FederationFrontend::FederationFrontend(ShardMap map, FrontendOptions options)
 }
 
 std::optional<serve::Response> FederationFrontend::attempt(
-    std::uint16_t port, const serve::Request& request) const {
+    std::uint16_t port, const serve::Request& request) {
   try {
     serve::Client client(port);
     client.set_timeout(options_.deadline);
+    // Propagate the trace across the process boundary: the shard's server
+    // adopts this attempt's span as its remote parent, so the stitched tree
+    // shows the shard's execute nested under exactly the attempt (first try,
+    // retry, or hedge) that carried it. Only when a trace is actually armed
+    // and ambient — untraced fan-outs stay on the plain id-less frame.
+    const std::uint64_t trace_id = obs::Tracer::global().enabled()
+                                       ? obs::TraceContext::current_trace()
+                                       : 0;
+    if (trace_id != 0) {
+      serve::TraceContextWire wire;
+      wire.trace_id = trace_id;
+      wire.parent_span = obs::current_span();
+      wire.budget_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              options_.deadline)
+              .count());
+      const std::uint64_t request_id =
+          next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      return client.query_with_trace(request, request_id, wire);
+    }
     return client.query(request);
   } catch (const serve::TimeoutError&) {
     return std::nullopt;
@@ -91,6 +112,8 @@ std::optional<serve::Response> FederationFrontend::attempt(
 
 FederationFrontend::ShardResult FederationFrontend::query_shard(
     const FleetShard& shard, const serve::Request& request) {
+  VMP_TRACE_NAMED_SPAN(shard_span, "fed.shard", "federate");
+  shard_span.note("fleet", shard.fleet);
   ShardResult result;
   result.fleet = shard.fleet;
   if (options_.metrics)
@@ -122,10 +145,23 @@ FederationFrontend::ShardResult FederationFrontend::query_shard(
         std::optional<serve::Response> response;
       };
       auto race = std::make_shared<Race>();
-      auto leg = [this, race, request](int who, std::uint16_t port,
-                                       std::shared_ptr<std::atomic<bool>>
-                                           done) {
-        std::optional<serve::Response> r = attempt(port, request);
+      // Each racing leg runs on its own thread, so the ambient trace must be
+      // re-seeded there; the leg's span (fed.attempt / fed.hedge) parents
+      // whatever the shard server opens on the far side.
+      const std::uint64_t leg_trace = obs::TraceContext::current_trace();
+      const std::uint64_t leg_parent = obs::current_span();
+      auto leg = [this, race, request, leg_trace, leg_parent,
+                  k](int who, std::uint16_t port,
+                     std::shared_ptr<std::atomic<bool>> done) {
+        VMP_TRACE_CONTEXT_PARENTED(leg_trace, leg_parent);
+        std::optional<serve::Response> r;
+        {
+          VMP_TRACE_NAMED_SPAN(leg_span,
+                               who == 1 ? "fed.attempt" : "fed.hedge",
+                               "federate");
+          leg_span.note("attempt", k);
+          r = attempt(port, request);
+        }
         {
           std::lock_guard lock(race->mutex);
           ++race->finished;
@@ -171,6 +207,8 @@ FederationFrontend::ShardResult FederationFrontend::query_shard(
       settle(primary, primary_done);
       settle(replica, replica_done);
     } else {
+      VMP_TRACE_NAMED_SPAN(attempt_span, "fed.attempt", "federate");
+      attempt_span.note("attempt", k);
       response = attempt(shard.primary(), request);
     }
     if (response) {
@@ -221,6 +259,14 @@ FederationFrontend::~FederationFrontend() { reap_strays(true); }
 serve::Response FederationFrontend::execute(const serve::Request& request) {
   const auto start = std::chrono::steady_clock::now();
   if (fanouts_) fanouts_->inc();
+  // Capture the ambient trace before the fan-out: thread-local context does
+  // not cross std::thread, so every leg re-seeds it and its fed.shard span
+  // becomes a child of the caller's serve.execute span. Disarmed tracing
+  // costs exactly this one relaxed load.
+  const std::uint64_t trace_id = obs::Tracer::global().enabled()
+                                     ? obs::TraceContext::current_trace()
+                                     : 0;
+  const std::uint64_t parent_span = obs::current_span();
 
   std::vector<std::uint32_t> skipped;
   std::vector<const FleetShard*> targets;
@@ -237,10 +283,11 @@ serve::Response FederationFrontend::execute(const serve::Request& request) {
     std::vector<std::thread> threads;
     threads.reserve(targets.size());
     for (std::size_t i = 0; i < targets.size(); ++i)
-      threads.emplace_back(
-          [this, &request, &results, i, shard = targets[i]] {
-            results[i] = query_shard(*shard, request);
-          });
+      threads.emplace_back([this, &request, &results, i, shard = targets[i],
+                            trace_id, parent_span] {
+        VMP_TRACE_CONTEXT_PARENTED(trace_id, parent_span);
+        results[i] = query_shard(*shard, request);
+      });
     for (std::thread& thread : threads) thread.join();
   }
   reap_strays(false);

@@ -120,8 +120,12 @@ class FederationFrontend : public serve::QueryHandler {
   };
 
   /// One attempt against one endpoint; nullopt on timeout/transport error.
+  /// When a trace is ambient (armed tracer + trace context), the request is
+  /// sent as a traced frame: the shard joins this frontend's trace with the
+  /// calling attempt span as remote parent and the per-attempt deadline as
+  /// its declared budget.
   [[nodiscard]] std::optional<serve::Response> attempt(
-      std::uint16_t port, const serve::Request& request) const;
+      std::uint16_t port, const serve::Request& request);
   /// The full per-shard leg: deadline + retries + optional hedge.
   [[nodiscard]] ShardResult query_shard(const FleetShard& shard,
                                         const serve::Request& request);
@@ -147,6 +151,9 @@ class FederationFrontend : public serve::QueryHandler {
   ShardHealthTracker health_;
   std::mutex strays_mutex_;
   std::vector<Stray> strays_;
+  /// Request ids stamped on traced shard requests (correlation only; unique
+  /// per frontend, not globally).
+  std::atomic<std::uint64_t> next_request_id_{0};
 
   // Hot-path instruments, resolved once (null without metrics).
   fleet::Counter* fanouts_ = nullptr;

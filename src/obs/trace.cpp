@@ -18,6 +18,13 @@ std::uint64_t steady_ns() {
           .count());
 }
 
+std::uint64_t wall_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 bool env_requests_tracing() {
   const char* value = std::getenv("VMPOWER_TRACING");
   if (value == nullptr) return false;
@@ -40,6 +47,10 @@ ThreadTraceState& thread_trace_state() noexcept {
 
 Tracer::Tracer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity), epoch_ns_(steady_ns()) {
+  // The anchor is the only place the wall clock is ever consulted; events
+  // themselves are timed against the steady epoch captured just above, so a
+  // later wall adjustment shifts nothing and reorders nothing.
+  anchor_us_.store(wall_us(), std::memory_order_relaxed);
   ring_.reserve(capacity_);
 }
 
@@ -99,28 +110,39 @@ std::size_t Tracer::size() const {
   return count_;
 }
 
-std::string to_chrome_json(const SpanEvent& event) {
-  // Names/categories are instrumentation literals (no quotes or control
-  // characters), so no JSON string escaping is needed here.
-  char buffer[256];
-  std::snprintf(
+std::string to_chrome_json(const SpanEvent& event, std::uint64_t anchor_us) {
+  // Names/categories/detail keys are instrumentation literals (no quotes or
+  // control characters), so no JSON string escaping is needed here.
+  char buffer[320];
+  int written = std::snprintf(
       buffer, sizeof buffer,
       "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%llu,"
       "\"dur\":%llu,\"pid\":1,\"tid\":%u,\"args\":{\"trace\":%llu,"
-      "\"span\":%llu,\"parent\":%llu}}",
+      "\"span\":%llu,\"parent\":%llu",
       event.name, event.category,
-      static_cast<unsigned long long>(event.start_us),
+      static_cast<unsigned long long>(anchor_us + event.start_us),
       static_cast<unsigned long long>(event.duration_us), event.thread,
       static_cast<unsigned long long>(event.trace_id),
       static_cast<unsigned long long>(event.span_id),
       static_cast<unsigned long long>(event.parent_id));
+  if (written < 0) return "{}";
+  std::size_t used = static_cast<std::size_t>(written);
+  if (event.detail_key != nullptr && used < sizeof buffer) {
+    written = std::snprintf(buffer + used, sizeof buffer - used,
+                            ",\"%s\":%llu", event.detail_key,
+                            static_cast<unsigned long long>(event.detail));
+    if (written > 0) used += static_cast<std::size_t>(written);
+  }
+  if (used < sizeof buffer)
+    std::snprintf(buffer + used, sizeof buffer - used, "}}");
   return buffer;
 }
 
 std::string Tracer::to_chrome_jsonl() const {
+  const std::uint64_t anchor = anchor_us();
   std::string out;
   for (const SpanEvent& event : snapshot()) {
-    out += to_chrome_json(event);
+    out += to_chrome_json(event, anchor);
     out += '\n';
   }
   return out;
@@ -161,6 +183,8 @@ Span::~Span() {
   event.start_us = start_us_;
   const std::uint64_t end_us = tracer.now_us();
   event.duration_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  event.detail_key = detail_key_;
+  event.detail = detail_;
   tracer.record(event);
 }
 

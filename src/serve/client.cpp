@@ -97,7 +97,9 @@ std::string Client::recv_frame() {
   for (const char byte : prefix)
     raw = (raw << 8) | static_cast<std::uint8_t>(byte);
   const bool has_id = (raw & kFrameIdFlag) != 0;
-  const std::uint32_t length = raw & ~kFrameIdFlag;
+  // Responses never carry a trace block, but mask both flag bits so a
+  // misbehaving peer cannot inflate the length into the flag space.
+  const std::uint32_t length = raw & kFrameLenMask;
   if (length > kMaxFrameBytes)
     throw std::runtime_error("serve client: oversized response frame");
   const std::size_t header =
@@ -132,6 +134,12 @@ void Client::send_query(const Request& request) {
 void Client::send_query_with_id(const Request& request,
                                 std::uint64_t request_id) {
   send_raw(encode_frame_with_id(encode_request(request), request_id));
+}
+
+void Client::send_query_with_trace(const Request& request,
+                                   std::uint64_t request_id,
+                                   const TraceContextWire& trace) {
+  send_raw(encode_frame_with_trace(encode_request(request), request_id, trace));
 }
 
 Response Client::recv_response() {
@@ -170,6 +178,16 @@ Response Client::query(const Request& request) {
 Response Client::query_with_id(const Request& request,
                                std::uint64_t request_id) {
   send_query_with_id(request, request_id);
+  const auto [echoed, response] = recv_response_with_id();
+  if (echoed != request_id)
+    throw std::runtime_error("serve client: response echoed wrong request id");
+  return response;
+}
+
+Response Client::query_with_trace(const Request& request,
+                                  std::uint64_t request_id,
+                                  const TraceContextWire& trace) {
+  send_query_with_trace(request, request_id, trace);
   const auto [echoed, response] = recv_response_with_id();
   if (echoed != request_id)
     throw std::runtime_error("serve client: response echoed wrong request id");

@@ -48,6 +48,14 @@ class Client {
   [[nodiscard]] Response query_with_id(const Request& request,
                                        std::uint64_t request_id);
 
+  /// Binary round trip carrying a full trace context (kFrameTraceFlag): the
+  /// server joins the caller's trace instead of starting its own and honours
+  /// the deadline budget in its slow-query accounting. Responses echo the id
+  /// only, so the receive path is shared with query_with_id.
+  [[nodiscard]] Response query_with_trace(const Request& request,
+                                          std::uint64_t request_id,
+                                          const TraceContextWire& trace);
+
   /// Text round trip: sends `line` (newline appended) and returns the
   /// response line without its newline.
   [[nodiscard]] std::string query_text(const std::string& line);
@@ -60,6 +68,9 @@ class Client {
   void send_query(const Request& request);
   /// Pipelining with correlation: sends one id-stamped binary request.
   void send_query_with_id(const Request& request, std::uint64_t request_id);
+  /// Pipelining with correlation and trace context.
+  void send_query_with_trace(const Request& request, std::uint64_t request_id,
+                             const TraceContextWire& trace);
   /// Receives the next id-less binary response (arrival order).
   [[nodiscard]] Response recv_response();
   /// Receives the next id-flagged binary response in whatever order the

@@ -168,25 +168,106 @@ std::string encode_frame_with_id(std::string_view body,
   return frame;
 }
 
-bool strip_text_request_id(std::string_view& line, std::uint64_t& request_id) {
-  if (line.empty() || line.front() != '#') return false;
-  std::size_t pos = 1;
-  std::uint64_t id = 0;
+std::string encode_frame_with_trace(std::string_view body,
+                                    std::uint64_t request_id,
+                                    const TraceContextWire& ctx) {
+  std::string frame;
+  frame.reserve(kFramePrefixBytes + kFrameIdBytes + kFrameTraceBytes +
+                body.size());
+  put_u32(frame, static_cast<std::uint32_t>(body.size()) | kFrameIdFlag |
+                     kFrameTraceFlag);
+  put_u64(frame, request_id);
+  frame += encode_trace_block(ctx);
+  frame.append(body);
+  return frame;
+}
+
+std::string encode_trace_block(const TraceContextWire& ctx) {
+  std::string block;
+  block.reserve(kFrameTraceBytes);
+  block.push_back(static_cast<char>(kFrameTraceVersion));
+  put_u64(block, ctx.trace_id);
+  put_u64(block, ctx.parent_span);
+  put_u64(block, ctx.budget_us);
+  return block;
+}
+
+bool decode_trace_block(std::string_view block, TraceContextWire& ctx) {
+  if (block.size() != kFrameTraceBytes) return false;
+  Reader reader{block};
+  std::uint8_t version = 0;
+  if (!reader.get_u8(version) || version != kFrameTraceVersion) return false;
+  return reader.get_u64(ctx.trace_id) && reader.get_u64(ctx.parent_span) &&
+         reader.get_u64(ctx.budget_us);
+}
+
+namespace {
+
+/// Parses a run of decimal digits at `pos` into `value` with overflow
+/// checking; advances `pos` past the run. False when there is no digit or
+/// the value overflows u64.
+bool parse_decimal_run(std::string_view line, std::size_t& pos,
+                       std::uint64_t& value) {
+  const std::size_t start = pos;
+  value = 0;
   while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
     const std::uint64_t digit = static_cast<std::uint64_t>(line[pos] - '0');
-    if (id > (0xffffffffffffffffull - digit) / 10) return false;  // overflow.
-    id = id * 10 + digit;
+    if (value > (0xffffffffffffffffull - digit) / 10) return false;
+    value = value * 10 + digit;
     ++pos;
   }
-  // Well-formed only as "#<digits>" then a separator (or end of line, for
-  // commands like a bare "#7" — which then parses as an empty request).
-  if (pos == 1) return false;
-  if (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') return false;
+  return pos != start;
+}
+
+}  // namespace
+
+bool strip_text_request_id(std::string_view& line, std::uint64_t& request_id) {
+  TraceContextWire ignored;
+  const TextEnvelope envelope = strip_text_envelope(line, request_id, ignored);
+  return envelope == TextEnvelope::kId || envelope == TextEnvelope::kTraced;
+}
+
+TextEnvelope strip_text_envelope(std::string_view& line,
+                                 std::uint64_t& request_id,
+                                 TraceContextWire& trace) {
+  if (line.empty() || line.front() != '#') return TextEnvelope::kNone;
+  std::size_t pos = 1;
+  std::uint64_t id = 0;
+  // A malformed *id* ("#x", overflow) is kNone — such lines always fell
+  // through to the verb parser, and still do.
+  if (!parse_decimal_run(line, pos, id)) return TextEnvelope::kNone;
+  TextEnvelope kind = TextEnvelope::kId;
+  if (pos < line.size() && line[pos] == '@') {
+    // "#<id>@<trace>:<parent>:<budget_us>". Once the '@' committed the
+    // client to a trace context, any defect in it is kMalformed — silently
+    // downgrading to an untraced id would detach the server's spans from
+    // the caller's tree with no signal to anyone. The id itself parsed, so
+    // it is reported even on kMalformed for the caller's error echo.
+    request_id = id;
+    ++pos;
+    TraceContextWire parsed;
+    if (!parse_decimal_run(line, pos, parsed.trace_id))
+      return TextEnvelope::kMalformed;
+    if (pos >= line.size() || line[pos] != ':') return TextEnvelope::kMalformed;
+    ++pos;
+    if (!parse_decimal_run(line, pos, parsed.parent_span))
+      return TextEnvelope::kMalformed;
+    if (pos >= line.size() || line[pos] != ':') return TextEnvelope::kMalformed;
+    ++pos;
+    if (!parse_decimal_run(line, pos, parsed.budget_us))
+      return TextEnvelope::kMalformed;
+    if (pos < line.size() && line[pos] != ' ' && line[pos] != '\t')
+      return TextEnvelope::kMalformed;
+    trace = parsed;
+    kind = TextEnvelope::kTraced;
+  } else if (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') {
+    return TextEnvelope::kNone;  // "#42x": not an envelope token at all.
+  }
   line.remove_prefix(pos);
   while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
     line.remove_prefix(1);
   request_id = id;
-  return true;
+  return kind;
 }
 
 std::string encode_request(const Request& request) {

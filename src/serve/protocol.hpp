@@ -22,15 +22,34 @@
 //    pipelining client correlate out-of-order responses. Unflagged frames
 //    are byte-identical to the pre-id protocol.
 //
+//    Bit 30 (kFrameTraceFlag) extends the id mechanism with full *trace
+//    context*: a kFrameTraceBytes block after the id carrying
+//    `u8 version, u64 trace_id, u64 parent_span, u64 budget_us` — enough for
+//    a downstream server to open spans as children of the caller's span in
+//    the caller's trace, and to know how much of the end-to-end deadline
+//    remains (budget_us; 0 = none declared). The trace flag is only valid
+//    together with the id flag: a traced first byte is then >= 0xC0, which
+//    the server's text-vs-binary sniff classifies as binary (a lone trace
+//    flag would put 0x40 = '@' on the wire and be mistaken for text).
+//    A bad version or a lone trace flag is answered with kMalformed on the
+//    same connection — the frame length is still trusted for resync, so the
+//    connection survives. Responses never carry the trace block; they echo
+//    the id alone, byte-identical to an untraced exchange.
+//
 //  * Text: one newline-terminated line per request ("tenant-energy 2 10 50"),
 //    one line per response ("OK <epoch> <values...>" / "ERR <code> <msg>") —
 //    telnet-friendly and self-describing. A leading "#<id>" token is the
 //    text spelling of the request id ("#42 stats") and is echoed as the
-//    first token of the response line ("#42 OK ...").
+//    first token of the response line ("#42 OK ..."). Trace context extends
+//    the token as "#<id>@<trace>:<parent>:<budget_us>"
+//    ("#42@7:19:250000 stats"); the response echoes "#<id>" alone. An "@"
+//    with a malformed context suffix is kMalformed — never silently read as
+//    an untraced id.
 //
-// The request id is wire-level correlation only: it never enters
-// Request::canonical(), so the result cache is id-blind. The dispatcher
-// stamps it into the query's trace spans as the trace id.
+// The request id and trace context are wire-level correlation only: they
+// never enter Request::canonical(), so the result cache is id-blind. The
+// dispatcher stamps the explicit trace id (or the request id, when no
+// context is carried) into the query's trace spans.
 //
 // Doubles are formatted with %.17g so text responses round-trip exactly and
 // identical queries produce byte-identical responses on every transport.
@@ -119,6 +138,22 @@ inline constexpr std::size_t kMaxLineBytes = 1024;
 /// 0xFFFFFFFF still reads as an oversized frame, never a huge id-less body.
 inline constexpr std::uint32_t kFrameIdFlag = 0x80000000u;
 inline constexpr std::size_t kFrameIdBytes = 8;
+/// Bit 30 of the length prefix: a kFrameTraceBytes trace-context block
+/// follows the request id. Valid only together with kFrameIdFlag (see the
+/// sniffing note in the header comment); requests only, never responses.
+inline constexpr std::uint32_t kFrameTraceFlag = 0x40000000u;
+inline constexpr std::uint32_t kFrameLenMask =
+    ~(kFrameIdFlag | kFrameTraceFlag);
+inline constexpr std::uint8_t kFrameTraceVersion = 1;
+/// u8 version + u64 trace_id + u64 parent_span + u64 budget_us.
+inline constexpr std::size_t kFrameTraceBytes = 25;
+
+/// Trace context carried alongside a request id, in either protocol.
+struct TraceContextWire {
+  std::uint64_t trace_id = 0;     ///< the caller's trace (0 = request id).
+  std::uint64_t parent_span = 0;  ///< caller span the server's spans nest in.
+  std::uint64_t budget_us = 0;    ///< remaining end-to-end deadline; 0 = none.
+};
 
 /// Terminator line of the multi-line METRICS / TRACE scrape responses.
 inline constexpr std::string_view kScrapeEof = "# EOF";
@@ -129,12 +164,41 @@ inline constexpr std::string_view kScrapeEof = "# EOF";
 /// prefix and the body.
 [[nodiscard]] std::string encode_frame_with_id(std::string_view body,
                                                std::uint64_t request_id);
+/// Length-prefixes `body` with both flags set: prefix, id, trace block, body.
+[[nodiscard]] std::string encode_frame_with_trace(std::string_view body,
+                                                  std::uint64_t request_id,
+                                                  const TraceContextWire& ctx);
+
+/// The kFrameTraceBytes trace block alone (version byte + three u64s).
+[[nodiscard]] std::string encode_trace_block(const TraceContextWire& ctx);
+/// Decodes a trace block; false on wrong size or unknown version.
+[[nodiscard]] bool decode_trace_block(std::string_view block,
+                                      TraceContextWire& ctx);
 
 /// Consumes a leading "#<id>" token ("#42 stats" -> line "stats", id 42).
 /// Returns false — leaving `line` untouched — when there is no well-formed
 /// id token; the line then parses (or fails) exactly as before ids existed.
 [[nodiscard]] bool strip_text_request_id(std::string_view& line,
                                          std::uint64_t& request_id);
+
+/// Classification of a text line's leading envelope token.
+enum class TextEnvelope {
+  kNone,       ///< no "#" token; plain pre-id line, untouched.
+  kId,         ///< "#<id>" consumed; `request_id` set.
+  kTraced,     ///< "#<id>@<trace>:<parent>:<budget>" consumed; both outputs.
+  kMalformed,  ///< "#<id>@..." with a bad context suffix; line untouched —
+               ///< the caller must answer kMalformed, not guess (the parsed
+               ///< `request_id` is still reported, for the error echo).
+};
+
+/// Generalisation of strip_text_request_id that also understands the traced
+/// form. On kId/kTraced the token is consumed from `line`; on kNone and
+/// kMalformed the line is untouched. A malformed *id* (pre-trace rules:
+/// "#x", overflow, no separator) stays kNone for compatibility — such lines
+/// always fell through to the verb parser.
+[[nodiscard]] TextEnvelope strip_text_envelope(std::string_view& line,
+                                               std::uint64_t& request_id,
+                                               TraceContextWire& trace);
 
 /// --- binary bodies ---------------------------------------------------------
 

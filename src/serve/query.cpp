@@ -5,6 +5,7 @@
 
 #include "common/units.hpp"
 #include "obs/trace.hpp"
+#include "serve/profile.hpp"
 
 namespace vmp::serve {
 
@@ -157,6 +158,10 @@ Response QueryEngine::compute(const std::string& key,
       if (fast_key) cache_insert(*fast_key, cached);
       return note_hit(cached);
     case Probe::kJoin: {
+      // The follower's whole wall time here is spent parked on the leader —
+      // the stage the profiler calls coalesce_hold.
+      StageTimer hold(Stage::kCoalesceHold);
+      VMP_TRACE_SPAN("serve.coalesce_hold", "serve");
       std::unique_lock lock(flight->mutex);
       flight->cv.wait(lock, [&] { return flight->done; });
       Response response = flight->response;
@@ -193,6 +198,7 @@ Response QueryEngine::compute(const std::string& key,
 QueryEngine::Probe QueryEngine::probe(Shard& shard, const std::string& key,
                                       Response& out,
                                       std::shared_ptr<Inflight>& flight) {
+  StageTimer timer(Stage::kCacheProbe);
   std::lock_guard lock(shard.mutex);
   if (shard_capacity_ > 0) {
     const auto it = shard.index.find(key);
@@ -333,6 +339,7 @@ QueryEngine::Shard& QueryEngine::shard_for(const std::string& key) noexcept {
 
 bool QueryEngine::cache_lookup(const std::string& key, Response& out) {
   if (shard_capacity_ == 0) return false;
+  StageTimer timer(Stage::kCacheProbe);
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
   const auto it = shard.index.find(key);

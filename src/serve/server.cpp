@@ -72,7 +72,7 @@ void ServerOptions::validate() const {
 Server::Server(QueryHandler& engine, fleet::Metrics& metrics,
                ServerOptions options)
     : options_((options.validate(), options)),
-      dispatcher_(engine, &metrics),
+      dispatcher_(engine, &metrics, options.profiler),
       metrics_(metrics),
       queue_(options_.queue_capacity) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -192,7 +192,8 @@ void Server::serve_binary(const std::shared_ptr<Conn>& conn) {
     for (const char byte : prefix)
       raw = (raw << 8) | static_cast<std::uint8_t>(byte);
     const bool has_id = (raw & kFrameIdFlag) != 0;
-    const std::uint32_t length = raw & ~kFrameIdFlag;
+    const bool has_trace = (raw & kFrameTraceFlag) != 0;
+    const std::uint32_t length = raw & kFrameLenMask;
     if (length > kMaxFrameBytes) {
       // Cannot resync a stream after refusing to read the body; reject and
       // drop the connection (before the id bytes, so no id to echo).
@@ -207,9 +208,29 @@ void Server::serve_binary(const std::shared_ptr<Conn>& conn) {
       for (const char byte : id_bytes)
         request_id = (request_id << 8) | static_cast<std::uint8_t>(byte);
     }
+    TraceContextWire trace;
+    bool trace_ok = true;
+    if (has_trace) {
+      // The block sits between the id (when present) and the body. Read it
+      // even when it turns out invalid — the declared layout is what keeps
+      // the stream in sync, so the connection can survive the rejection.
+      char block[kFrameTraceBytes];
+      if (!read_fully(conn->fd, block, sizeof block)) return;
+      trace_ok = has_id &&
+                 decode_trace_block(std::string_view(block, sizeof block),
+                                    trace);
+    }
     std::string body(length, '\0');
     if (!read_fully(conn->fd, body.data(), length)) return;  // mid-frame EOF.
-    admit(conn, std::move(body), /*binary=*/true, has_id, request_id);
+    if (!trace_ok) {
+      // Lone trace flag or unknown version: the frame is fully consumed, so
+      // answer the error out of band and keep serving this connection.
+      reply_error(*conn, /*binary=*/true, ErrorCode::kMalformed,
+                  "malformed trace context", has_id, request_id);
+      continue;
+    }
+    admit(conn, std::move(body), /*binary=*/true, has_id, request_id,
+          has_trace, trace);
   }
 }
 
@@ -243,9 +264,26 @@ void Server::serve_text(const std::shared_ptr<Conn>& conn) {
 }
 
 void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
-                   bool binary, bool has_id, std::uint64_t request_id) {
-  VMP_TRACE_CONTEXT(request_id);
+                   bool binary, bool has_id, std::uint64_t request_id,
+                   bool has_trace, TraceContextWire trace) {
+  VMP_TRACE_CONTEXT_PARENTED(has_trace ? trace.trace_id : request_id,
+                             has_trace ? trace.parent_span : 0);
   VMP_TRACE_SPAN("serve.admission", "serve");
+  std::shared_ptr<StageProfile> profile;
+  std::uint64_t admit_start_ns = 0;
+  if (options_.profiler != nullptr) {
+    profile = std::make_shared<StageProfile>();
+    profile->request_id = request_id;
+    profile->trace_id = has_trace ? trace.trace_id : request_id;
+    profile->budget_us = has_trace ? trace.budget_us : 0;
+    profile->start_ns = admit_start_ns = profile_now_ns();
+  }
+  const auto finish_admission = [&] {
+    if (profile)
+      profile->add(Stage::kAdmission,
+                   static_cast<double>(profile_now_ns() - admit_start_ns) *
+                       1e-9);
+  };
   // Delivery routing is fixed at arrival: id-less requests (and everything
   // in ordered mode) hold an ordered slot, so even their shed errors cannot
   // overtake an earlier slow response.
@@ -259,23 +297,33 @@ void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
         .counter("vmpower_serve_shed_total{reason=\"throttle\"}",
                  "Requests shed by per-client token buckets")
         .inc();
+    finish_admission();
+    if (profile) profile->error = true;
     deliver(*conn, ordered, seq, arrival,
             error_bytes(binary, ErrorCode::kThrottled,
                         "client exceeded its request rate", has_id,
-                        request_id));
+                        request_id),
+            std::move(profile));
     return;
   }
   outstanding_.fetch_add(1, std::memory_order_relaxed);
+  // Stamp the enqueue time before the push: once the task is in the queue a
+  // worker may read the profile immediately.
+  finish_admission();
+  if (profile) profile->enqueue_ns = profile_now_ns();
   if (!queue_.try_push(Task{conn, std::move(payload), binary, has_id,
-                            request_id, ordered, seq, arrival})) {
+                            request_id, ordered, seq, arrival, has_trace,
+                            trace, profile})) {
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
     metrics_
         .counter("vmpower_serve_shed_total{reason=\"queue\"}",
                  "Requests shed by the bounded request queue")
         .inc();
+    if (profile) profile->error = true;
     deliver(*conn, ordered, seq, arrival,
             error_bytes(binary, ErrorCode::kOverloaded,
-                        "request queue is full", has_id, request_id));
+                        "request queue is full", has_id, request_id),
+            std::move(profile));
     return;
   }
   metrics_
@@ -286,6 +334,14 @@ void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
 
 void Server::worker_loop() {
   while (auto task = queue_.pop()) {
+    StageProfile* profile = task->profile.get();
+    if (profile != nullptr)
+      profile->add(Stage::kQueueWait,
+                   static_cast<double>(profile_now_ns() - profile->enqueue_ns) *
+                       1e-9);
+    // Make the profile ambient for the dispatcher and everything below it
+    // (engine cache probes, coalesce holds) on this thread.
+    StageProfileScope scope(profile);
     if (options_.worker_delay.count() > 0)
       std::this_thread::sleep_for(options_.worker_delay);
     if (options_.cost_query_delay.count() > 0 &&
@@ -293,8 +349,9 @@ void Server::worker_loop() {
       std::this_thread::sleep_for(options_.cost_query_delay);
     std::string bytes;
     if (task->binary) {
-      const std::string body =
-          dispatcher_.handle_binary(task->payload, task->request_id);
+      const std::string body = dispatcher_.handle_binary(
+          task->payload, task->request_id,
+          task->has_trace ? &task->trace : nullptr);
       bytes = task->has_id ? encode_frame_with_id(body, task->request_id)
                            : encode_frame(body);
     } else {
@@ -302,42 +359,58 @@ void Server::worker_loop() {
       bytes = dispatcher_.handle_text(task->payload) + "\n";
     }
     deliver(*task->conn, task->ordered, task->seq, task->arrival,
-            std::move(bytes));
+            std::move(bytes), std::move(task->profile));
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void Server::deliver(Conn& conn, bool ordered, std::uint64_t seq,
-                     std::uint64_t arrival, std::string bytes) {
+                     std::uint64_t arrival, std::string bytes,
+                     std::shared_ptr<StageProfile> profile) {
+  if (profile) profile->ready_ns = profile_now_ns();
   if (!ordered) {
-    write_response(conn, arrival, bytes);
+    write_response(conn, arrival, bytes, profile.get());
     return;
   }
   // Reorder buffer: park until this slot's turn, then drain every ready
   // successor too (they were parked waiting on this one). Writes stay under
-  // order_mutex so two drains cannot interleave ordered responses.
+  // order_mutex so two drains cannot interleave ordered responses. A parked
+  // response's profile rides in the buffer, so its write stage honestly
+  // includes the reorder hold.
   std::lock_guard lock(conn.order_mutex);
-  conn.held.emplace(seq, Conn::Held{arrival, std::move(bytes)});
+  conn.held.emplace(seq, Conn::Held{arrival, std::move(bytes),
+                                    std::move(profile)});
   auto it = conn.held.begin();
   while (it != conn.held.end() && it->first == conn.next_ordered) {
-    write_response(conn, it->second.arrival, it->second.bytes);
+    write_response(conn, it->second.arrival, it->second.bytes,
+                   it->second.profile.get());
     it = conn.held.erase(it);
     ++conn.next_ordered;
   }
 }
 
 void Server::write_response(Conn& conn, std::uint64_t arrival,
-                            std::string_view bytes) {
+                            std::string_view bytes, StageProfile* profile) {
   answered_.fetch_add(1, std::memory_order_relaxed);
   answered_counter_->inc();
-  std::lock_guard lock(conn.write_mutex);
-  // Count the overtaker only (arrival newer than the write slot), not the
-  // response it displaced — one swap is one reordering.
-  if (arrival > conn.written) reordered_counter_->inc();
-  ++conn.written;
-  if (!conn.open.load(std::memory_order_relaxed)) return;
-  if (!send_fully(conn.fd, bytes))
-    conn.open.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(conn.write_mutex);
+    // Count the overtaker only (arrival newer than the write slot), not the
+    // response it displaced — one swap is one reordering.
+    if (arrival > conn.written) reordered_counter_->inc();
+    ++conn.written;
+    if (conn.open.load(std::memory_order_relaxed) &&
+        !send_fully(conn.fd, bytes))
+      conn.open.store(false, std::memory_order_relaxed);
+  }
+  if (profile != nullptr && options_.profiler != nullptr) {
+    const std::uint64_t now_ns = profile_now_ns();
+    profile->add(Stage::kWrite,
+                 static_cast<double>(now_ns - profile->ready_ns) * 1e-9);
+    profile->total_s =
+        static_cast<double>(now_ns - profile->start_ns) * 1e-9;
+    options_.profiler->observe(*profile);
+  }
 }
 
 void Server::reply(Conn& conn, std::string_view bytes) {

@@ -59,6 +59,10 @@ struct ServerOptions {
   /// tests can build a deterministic slow-head / fast-tail pipeline without
   /// slowing the cheap queries behind it. Zero in production.
   std::chrono::milliseconds cost_query_delay{0};
+  /// When set, every request carries a StageProfile from read edge to write
+  /// edge and the finished breakdown (queue wait, execute, cache probe,
+  /// write — the lot) is folded into this profiler. Null = zero overhead.
+  ServeProfiler* profiler = nullptr;
 
   /// Throws std::invalid_argument on zero workers/queue capacity or a
   /// non-positive bucket.
@@ -115,6 +119,9 @@ class Server {
     struct Held {
       std::uint64_t arrival = 0;
       std::string bytes;
+      /// Rides along so the write stage can bill reorder-buffer hold time
+      /// to the query that actually waited.
+      std::shared_ptr<StageProfile> profile;
     };
     std::uint64_t next_ordered = 0;  ///< next slot allowed to write.
     std::map<std::uint64_t, Held> held;
@@ -133,6 +140,9 @@ class Server {
     bool ordered = true;           ///< deliver in arrival order.
     std::uint64_t seq = 0;         ///< ordered-delivery slot (when ordered).
     std::uint64_t arrival = 0;     ///< per-connection arrival index.
+    bool has_trace = false;        ///< frame carried a trace-context block.
+    TraceContextWire trace;        ///< caller's trace id / parent / budget.
+    std::shared_ptr<StageProfile> profile;  ///< null when profiling is off.
   };
 
   void accept_loop();
@@ -144,16 +154,20 @@ class Server {
   /// delivery path as real responses (echoing the request id), so ordered
   /// clients never see a shed overtake an earlier response.
   void admit(const std::shared_ptr<Conn>& conn, std::string payload,
-             bool binary, bool has_id = false, std::uint64_t request_id = 0);
+             bool binary, bool has_id = false, std::uint64_t request_id = 0,
+             bool has_trace = false, TraceContextWire trace = {});
   /// Routes one completed response: unordered responses are written
   /// immediately; ordered responses wait in the reorder buffer for their
   /// arrival turn.
   void deliver(Conn& conn, bool ordered, std::uint64_t seq,
-               std::uint64_t arrival, std::string bytes);
+               std::uint64_t arrival, std::string bytes,
+               std::shared_ptr<StageProfile> profile = nullptr);
   /// The single response write: counts the response, the out-of-arrival
-  /// writes, and drops the connection on a failed send.
+  /// writes, and drops the connection on a failed send. Finalises and
+  /// observes the profile (write stage + total) when one rode along.
   void write_response(Conn& conn, std::uint64_t arrival,
-                      std::string_view bytes);
+                      std::string_view bytes,
+                      StageProfile* profile = nullptr);
   [[nodiscard]] std::string error_bytes(bool binary, ErrorCode code,
                                         const std::string& message,
                                         bool has_id,

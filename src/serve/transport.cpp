@@ -29,8 +29,9 @@ std::uint64_t read_frame_id(std::string_view frame) {
 
 }  // namespace
 
-Dispatcher::Dispatcher(QueryHandler& engine, fleet::Metrics* metrics)
-    : engine_(engine), metrics_(metrics) {}
+Dispatcher::Dispatcher(QueryHandler& engine, fleet::Metrics* metrics,
+                       ServeProfiler* profiler)
+    : engine_(engine), metrics_(metrics), profiler_(profiler) {}
 
 Response Dispatcher::run(const std::optional<Request>& request,
                          const char* proto) {
@@ -40,10 +41,21 @@ Response Dispatcher::run(const std::optional<Request>& request,
           ->counter("vmpower_serve_protocol_errors_total",
                     "Requests rejected as unparseable")
           .inc();
+    if (StageProfile* profile = current_stage_profile())
+      profile->error = true;
     return Response::error(ErrorCode::kMalformed, "unparseable request");
   }
+  if (StageProfile* profile = current_stage_profile())
+    profile->kind = request->kind;
   const auto start = std::chrono::steady_clock::now();
-  Response response = engine_.execute(*request);
+  Response response;
+  {
+    StageTimer timer(Stage::kExecute);
+    VMP_TRACE_SPAN("serve.execute", "serve");
+    response = engine_.execute(*request);
+  }
+  if (StageProfile* profile = current_stage_profile())
+    profile->error = !response.ok;
   if (metrics_) {
     const double elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -72,14 +84,26 @@ Response Dispatcher::run(const std::optional<Request>& request,
 }
 
 std::string Dispatcher::handle_binary(std::string_view body,
-                                      std::uint64_t trace_id) {
-  VMP_TRACE_CONTEXT(trace_id);
+                                      std::uint64_t trace_id,
+                                      const TraceContextWire* trace) {
+  // A carried trace context adopts the caller's trace and parents this
+  // request's spans under the caller's span; otherwise the request id is
+  // the trace and the spans are roots.
+  VMP_TRACE_CONTEXT_PARENTED(trace != nullptr ? trace->trace_id : trace_id,
+                             trace != nullptr ? trace->parent_span : 0);
+  if (StageProfile* profile = current_stage_profile()) {
+    if (trace != nullptr) {
+      profile->trace_id = trace->trace_id;
+      profile->budget_us = trace->budget_us;
+    }
+  }
   std::optional<Request> request;
   {
     VMP_TRACE_SPAN("serve.parse", "serve");
     request = decode_request(body);
   }
   const Response response = run(request, "binary");
+  StageTimer serialize(Stage::kSerialize);
   VMP_TRACE_SPAN("serve.encode", "serve");
   return encode_response(response);
 }
@@ -89,10 +113,17 @@ std::optional<std::string> Dispatcher::run_command(std::string_view line) {
   const char* command = nullptr;
   if (line == "METRICS") {
     command = "metrics";
+    // Sketch quantiles and SLO burn rates are published on scrape, not per
+    // query, so the gauges are fresh exactly when someone looks.
+    if (profiler_ != nullptr) profiler_->publish();
     if (metrics_) payload = metrics_->to_prometheus();
   } else if (line == "TRACE") {
     command = "trace";
     payload = obs::Tracer::global().to_chrome_jsonl();
+  } else if (line == "HEALTH") {
+    command = "health";
+    payload = profiler_ != nullptr ? profiler_->health_text()
+                                   : "health profiler=off\n";
   } else {
     return std::nullopt;
   }
@@ -100,7 +131,7 @@ std::optional<std::string> Dispatcher::run_command(std::string_view line) {
     metrics_
         ->counter("vmpower_serve_scrapes_total{command=\"" +
                       std::string(command) + "\"}",
-                  "METRICS / TRACE scrape commands served")
+                  "METRICS / TRACE / HEALTH scrape commands served")
         .inc();
   payload.append(kScrapeEof);
   return payload;
@@ -108,8 +139,30 @@ std::optional<std::string> Dispatcher::run_command(std::string_view line) {
 
 std::string Dispatcher::handle_text(std::string_view line) {
   std::uint64_t request_id = 0;
-  const bool has_id = strip_text_request_id(line, request_id);
-  VMP_TRACE_CONTEXT(request_id);
+  TraceContextWire wire;
+  const TextEnvelope envelope = strip_text_envelope(line, request_id, wire);
+  if (envelope == TextEnvelope::kMalformed) {
+    if (metrics_)
+      metrics_
+          ->counter("vmpower_serve_protocol_errors_total",
+                    "Requests rejected as unparseable")
+          .inc();
+    if (StageProfile* profile = current_stage_profile())
+      profile->error = true;
+    return "#" + std::to_string(request_id) + " " +
+           format_response_text(Response::error(ErrorCode::kMalformed,
+                                                "malformed trace context"));
+  }
+  const bool has_id = envelope != TextEnvelope::kNone;
+  const bool traced = envelope == TextEnvelope::kTraced;
+  VMP_TRACE_CONTEXT_PARENTED(traced ? wire.trace_id : request_id,
+                             traced ? wire.parent_span : 0);
+  if (StageProfile* profile = current_stage_profile()) {
+    if (traced) {
+      profile->trace_id = wire.trace_id;
+      profile->budget_us = wire.budget_us;
+    }
+  }
   std::string payload;
   if (auto scrape = run_command(line)) {
     payload = std::move(*scrape);
@@ -120,6 +173,7 @@ std::string Dispatcher::handle_text(std::string_view line) {
       request = parse_request_text(line);
     }
     const Response response = run(request, "text");
+    StageTimer serialize(Stage::kSerialize);
     VMP_TRACE_SPAN("serve.encode", "serve");
     payload = format_response_text(response);
   }
@@ -136,9 +190,10 @@ std::string InProcessTransport::roundtrip_binary(std::string_view frame) {
         Response::error(ErrorCode::kMalformed, "truncated frame prefix")));
   const std::uint32_t prefix = read_prefix(frame);
   const bool has_id = (prefix & kFrameIdFlag) != 0;
-  const std::uint32_t length = prefix & ~kFrameIdFlag;
-  const std::size_t header =
-      kFramePrefixBytes + (has_id ? kFrameIdBytes : 0);
+  const bool has_trace = (prefix & kFrameTraceFlag) != 0;
+  const std::uint32_t length = prefix & kFrameLenMask;
+  const std::size_t header = kFramePrefixBytes + (has_id ? kFrameIdBytes : 0) +
+                             (has_trace ? kFrameTraceBytes : 0);
   if (length > kMaxFrameBytes)
     return encode_frame(encode_response(Response::error(
         ErrorCode::kFrameTooLarge, "frame exceeds 64 KiB limit")));
@@ -146,7 +201,22 @@ std::string InProcessTransport::roundtrip_binary(std::string_view frame) {
     return encode_frame(encode_response(
         Response::error(ErrorCode::kMalformed, "frame length mismatch")));
   const std::uint64_t request_id = has_id ? read_frame_id(frame) : 0;
-  std::string body = dispatcher_.handle_binary(frame.substr(header), request_id);
+  TraceContextWire trace;
+  if (has_trace) {
+    // The trace flag rides on the id flag (a lone trace flag would make the
+    // first frame byte printable and defeat the server's protocol sniff),
+    // and the block must carry a known version.
+    const std::string error_body = encode_response(Response::error(
+        ErrorCode::kMalformed, "malformed trace context"));
+    if (!has_id)
+      return encode_frame(error_body);
+    if (!decode_trace_block(
+            frame.substr(kFramePrefixBytes + kFrameIdBytes, kFrameTraceBytes),
+            trace))
+      return encode_frame_with_id(error_body, request_id);
+  }
+  std::string body = dispatcher_.handle_binary(
+      frame.substr(header), request_id, has_trace ? &trace : nullptr);
   return has_id ? encode_frame_with_id(body, request_id) : encode_frame(body);
 }
 

@@ -10,17 +10,19 @@
 // by construction rather than by test luck — and lets tests and benches
 // drive the exact production path deterministically, no sockets involved.
 //
-// Two text-protocol *commands* ride the same path next to the query verbs:
-// "METRICS" answers with the full Prometheus exposition of the wired
-// registry and "TRACE" with the tracer ring as Chrome trace-event JSONL —
-// both multi-line payloads terminated by a lone "# EOF" line, so a
-// line-oriented client knows where the scrape ends.
+// Three text-protocol *commands* ride the same path next to the query
+// verbs: "METRICS" answers with the full Prometheus exposition of the wired
+// registry, "TRACE" with the tracer ring as Chrome trace-event JSONL, and
+// "HEALTH" with the profiler's stage-quantile / SLO / slow-query-log
+// rendering — all multi-line payloads terminated by a lone "# EOF" line, so
+// a line-oriented client knows where the scrape ends.
 #pragma once
 
 #include <string>
 #include <string_view>
 
 #include "fleet/metrics.hpp"
+#include "serve/profile.hpp"
 #include "serve/protocol.hpp"
 #include "serve/query.hpp"
 
@@ -28,18 +30,28 @@ namespace vmp::serve {
 
 class Dispatcher {
  public:
-  explicit Dispatcher(QueryHandler& engine, fleet::Metrics* metrics = nullptr);
+  explicit Dispatcher(QueryHandler& engine, fleet::Metrics* metrics = nullptr,
+                      ServeProfiler* profiler = nullptr);
 
   /// Handles one binary request body (unframed); returns the response body.
   /// `trace_id` (the frame's request id, 0 when absent) groups the request's
-  /// spans; framing-level id echo is the transport's job.
-  [[nodiscard]] std::string handle_binary(std::string_view body,
-                                          std::uint64_t trace_id = 0);
+  /// spans. When the frame carried a trace-context block, `trace` overrides
+  /// the span grouping with the caller's trace id and nests this request's
+  /// spans under the caller's parent span. Framing-level id echo is the
+  /// transport's job.
+  [[nodiscard]] std::string handle_binary(
+      std::string_view body, std::uint64_t trace_id = 0,
+      const TraceContextWire* trace = nullptr);
 
   /// Handles one request line (no newline); returns the response line. A
-  /// leading "#<id>" token is consumed, used as the trace id, and echoed as
-  /// the first token of the response.
+  /// leading "#<id>" (or traced "#<id>@<trace>:<parent>:<budget>") token is
+  /// consumed, used as the trace id, and echoed — id alone — as the first
+  /// token of the response. A malformed trace suffix earns kMalformed
+  /// without touching the engine.
   [[nodiscard]] std::string handle_text(std::string_view line);
+
+  /// The profiler behind the HEALTH command (and METRICS-time publishing).
+  void set_profiler(ServeProfiler* profiler) noexcept { profiler_ = profiler; }
 
  private:
   [[nodiscard]] Response run(const std::optional<Request>& request,
@@ -50,6 +62,7 @@ class Dispatcher {
 
   QueryHandler& engine_;
   fleet::Metrics* metrics_;
+  ServeProfiler* profiler_ = nullptr;
 };
 
 /// Drives the dispatcher with the server's framing rules, in process.

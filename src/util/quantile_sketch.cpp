@@ -1,0 +1,70 @@
+#include "util/quantile_sketch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmp::util {
+
+QuantileSketch::QuantileSketch(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || !(alpha < 1.0))
+    throw std::invalid_argument("QuantileSketch: alpha must be in (0, 1)");
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  log_gamma_ = std::log(gamma_);
+}
+
+void QuantileSketch::record(double value) {
+  ++count_;
+  if (!(value > kMinTrackable)) {  // catches <=, NaN, and negatives.
+    ++zero_count_;
+    return;
+  }
+  sum_ += value;
+  if (value > max_) max_ = value;
+  const auto index =
+      static_cast<std::int32_t>(std::ceil(std::log(value) / log_gamma_));
+  ++buckets_[index];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.alpha_ != alpha_)
+    throw std::invalid_argument("QuantileSketch: merge with mismatched alpha");
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+  for (const auto& [index, bucket_count] : other.buckets_)
+    buckets_[index] += bucket_count;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile among all recorded values, zero bucket
+  // first (its values are the smallest by construction).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  if (rank < zero_count_) return 0.0;
+  std::uint64_t cumulative = zero_count_;
+  for (const auto& [index, bucket_count] : buckets_) {
+    cumulative += bucket_count;
+    if (cumulative > rank) {
+      // Midpoint of the bucket (gamma^(i-1), gamma^i] in log space:
+      // 2 * gamma^i / (gamma + 1) — the canonical DDSketch estimate whose
+      // worst-case relative error is alpha at either bucket edge.
+      return 2.0 * std::pow(gamma_, static_cast<double>(index)) /
+             (gamma_ + 1.0);
+    }
+  }
+  return max_;  // unreachable unless rounding starves the walk; cap at max.
+}
+
+void QuantileSketch::clear() {
+  count_ = 0;
+  zero_count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+  buckets_.clear();
+}
+
+}  // namespace vmp::util

@@ -1,0 +1,78 @@
+// Streaming quantile sketch with relative-error guarantees (DDSketch-style).
+//
+// The serve tier needs honest tail latencies per pipeline stage without
+// pre-declaring histogram buckets: stage durations span sub-microsecond
+// cache probes to multi-second coalesce holds, so any fixed bucket layout
+// is wrong for most stages most of the time. This sketch maps each value to
+// the logarithmic bucket i = ceil(log_gamma(x)) with gamma = (1+alpha)/
+// (1-alpha), which guarantees every reported quantile q satisfies
+// |q_est - q_true| <= alpha * q_true — a *relative* accuracy bound that is
+// equally tight at 800 ns and at 8 s. Buckets are allocated lazily in a
+// sparse ordered map, so an idle stage costs nothing and a hot one costs
+// O(log range) entries.
+//
+// Merging two sketches of equal alpha adds bucket counts; because bucket
+// indices are value-determined (not data-order-determined), merge is exact:
+// associative, commutative, and byte-equivalent to having fed one sketch —
+// the property the per-worker → per-scrape roll-up and the federation
+// roll-up rely on, and which tests pin down.
+//
+// Values below `kMinTrackable` (including zero — a cache probe can take
+// less than a nanosecond tick) land in a dedicated zero bucket counted at
+// rank but reported as 0. Negative values are clamped to the zero bucket
+// too: stage durations cannot be negative, and a defensive clamp beats
+// silently corrupting log-space.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vmp::util {
+
+class QuantileSketch {
+ public:
+  /// Values at or below this are recorded in the zero bucket.
+  static constexpr double kMinTrackable = 1e-9;
+
+  /// `alpha` is the relative-accuracy target (default 1%); must lie in
+  /// (0, 1). Two sketches merge only if their alphas match exactly.
+  explicit QuantileSketch(double alpha = 0.01);
+
+  void record(double value);
+  /// Adds `other`'s counts into this sketch. Exact (no re-bucketing) and
+  /// associative. Throws std::invalid_argument on alpha mismatch.
+  void merge(const QuantileSketch& other);
+
+  /// Quantile estimate for q in [0, 1]; 0.0 when empty. Guaranteed within
+  /// alpha relative error of the true quantile of the recorded stream.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  /// Sum of recorded values (zero-bucket values contribute 0), for mean
+  /// reporting alongside the quantiles.
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Number of materialised log buckets (zero bucket excluded).
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+
+  void clear();
+
+ private:
+  double alpha_;
+  double gamma_;      ///< (1 + alpha) / (1 - alpha).
+  double log_gamma_;  ///< ln(gamma), cached for the hot record() path.
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  /// Sparse log-space buckets, ordered by index so quantile() walks values
+  /// ascending deterministically.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+};
+
+}  // namespace vmp::util

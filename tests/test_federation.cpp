@@ -8,15 +8,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "federate/health.hpp"
 #include "federate/shard_map.hpp"
 #include "federate/spin.hpp"
 #include "obs/invariants.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/query.hpp"
@@ -508,6 +512,132 @@ TEST(Federation, HedgedRequestBeatsASlowPrimary) {
                 .count(),
             290);
   shard.stop();
+}
+
+// --- distributed trace stitching --------------------------------------------
+
+/// Arms the global tracer over a clean ring and disarms it on scope exit even
+/// when an assertion bails out of the test early.
+struct TracerArm {
+  TracerArm() {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().set_enabled(true);
+  }
+  ~TracerArm() { obs::Tracer::global().set_enabled(false); }
+};
+
+TEST(Federation, FederatedQueryStitchesOneTraceTreeAcrossTiers) {
+  // Shard 1's primary stalls every request by 300 ms while its replica
+  // answers instantly, forcing a hedge; shard 2 answers plainly. Every tier
+  // lives in this process, so the one global tracer receives the frontend's
+  // fan-out spans *and* the spans each shard server opens on behalf of the
+  // trace context carried over the wire — the full stitched tree of a
+  // federated query, inspectable span by span.
+  InProcessShardOptions slow_options;
+  slow_options.fleet = 1;
+  slow_options.engine = exact_tou_options();
+  slow_options.server = quick_server();
+  slow_options.server.worker_delay = std::chrono::milliseconds(300);
+  slow_options.replica = quick_server();
+  InProcessShard slow_shard(slow_options);
+  slow_shard.store().publish(shard_at(1, 1.0));
+
+  InProcessShardOptions fast_options;
+  fast_options.fleet = 2;
+  fast_options.engine = exact_tou_options();
+  fast_options.server = quick_server();
+  InProcessShard fast_shard(fast_options);
+  fast_shard.store().publish(shard_at(2, 1.0));
+
+  FrontendOptions options;
+  options.deadline = std::chrono::milliseconds(2000);
+  options.retries = 0;
+  options.hedge = true;
+  options.hedge_delay = std::chrono::milliseconds(20);
+  FederationFrontend frontend(
+      ShardMap({FleetShard{1, {slow_shard.port(), slow_shard.replica_port()}},
+                FleetShard{2, {fast_shard.port()}}}),
+      options);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  TracerArm armed;
+  constexpr std::uint64_t kTrace = 0xf00dull;
+  std::uint64_t root_id = 0;
+  Response response;
+  {
+    obs::TraceContext context(kTrace);
+    VMP_TRACE_NAMED_SPAN(root_span, "test.fanout", "test");
+    root_id = obs::current_span();
+    response = frontend.execute(make_request(QueryKind::kFleetPower, 0, 0, 0));
+  }
+  ASSERT_TRUE(response.ok) << response.message;
+  EXPECT_TRUE(response.complete);
+  EXPECT_EQ(response.values.at(0), 9.0);  // fleets 1 + 2 at t = 1.
+  ASSERT_NE(root_id, 0u);
+
+  // The hedge winner returned long before the stalled primary leg finished;
+  // wait for that stray to land its spans so the tree is complete.
+  auto count_named = [&](const char* name) {
+    std::size_t n = 0;
+    for (const obs::SpanEvent& event : tracer.snapshot())
+      if (std::string_view(event.name) == name) ++n;
+    return n;
+  };
+  for (int spin = 0; spin < 5000 && count_named("fed.attempt") < 2; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  const std::vector<obs::SpanEvent> events = tracer.snapshot();
+  std::vector<const obs::SpanEvent*> shard_spans, leg_spans, execute_spans;
+  for (const obs::SpanEvent& event : events) {
+    // One query, one trace id — across the frontend and both shard servers.
+    EXPECT_EQ(event.trace_id, kTrace) << event.name;
+    const std::string_view name(event.name);
+    if (name == "fed.shard") shard_spans.push_back(&event);
+    if (name == "fed.attempt" || name == "fed.hedge")
+      leg_spans.push_back(&event);
+    if (name == "serve.execute") execute_spans.push_back(&event);
+  }
+
+  // One fed.shard child of the caller's root span per shard, annotated with
+  // its fleet id.
+  ASSERT_EQ(shard_spans.size(), 2u);
+  std::vector<std::uint64_t> fleets;
+  for (const obs::SpanEvent* span : shard_spans) {
+    EXPECT_EQ(span->parent_id, root_id);
+    ASSERT_STREQ(span->detail_key, "fleet");
+    fleets.push_back(span->detail);
+  }
+  std::sort(fleets.begin(), fleets.end());
+  EXPECT_EQ(fleets, (std::vector<std::uint64_t>{1, 2}));
+
+  // Three legs: shard 1's primary attempt and its hedge, shard 2's attempt —
+  // each a child of its own fed.shard span.
+  ASSERT_EQ(leg_spans.size(), 3u);
+  EXPECT_EQ(count_named("fed.hedge"), 1u);
+  for (const obs::SpanEvent* leg : leg_spans) {
+    const bool under_a_shard =
+        leg->parent_id == shard_spans[0]->span_id ||
+        leg->parent_id == shard_spans[1]->span_id;
+    EXPECT_TRUE(under_a_shard) << leg->name;
+  }
+
+  // Each shard server's execute span crossed the wire: its parent is the
+  // exact leg (first try or hedge) that carried the request — remote
+  // parenting, not same-thread nesting.
+  ASSERT_EQ(execute_spans.size(), 3u);
+  for (const obs::SpanEvent* execute : execute_spans) {
+    bool under_a_leg = false;
+    for (const obs::SpanEvent* leg : leg_spans)
+      under_a_leg = under_a_leg || execute->parent_id == leg->span_id;
+    EXPECT_TRUE(under_a_leg);
+  }
+
+  // And the whole tree exports as one Chrome trace.
+  const std::string jsonl = tracer.to_chrome_jsonl();
+  EXPECT_NE(jsonl.find("fed.hedge"), std::string::npos);
+  EXPECT_NE(jsonl.find("serve.execute"), std::string::npos);
+  slow_shard.stop();
+  fast_shard.stop();
 }
 
 }  // namespace

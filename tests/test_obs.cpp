@@ -54,6 +54,7 @@ TEST(Tracer, RingKeepsNewestAndCountsOverwrites) {
 
 TEST(Tracer, ChromeJsonlEmitsOneCompleteEventPerLine) {
   Tracer tracer(16);
+  tracer.set_anchor(0);  // pin the wall anchor so ts is the raw start offset
   tracer.set_enabled(true);
   SpanEvent event;
   event.name = "fleet.tick";

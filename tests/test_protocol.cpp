@@ -748,5 +748,363 @@ TEST_F(ServerTest, ServerOptionsValidation) {
   EXPECT_THROW(bad.validate(), std::invalid_argument);
 }
 
+// --- trace context ----------------------------------------------------------
+
+TEST(ProtocolCodec, TraceBlockRoundTripsAndRejectsBadVersionOrSize) {
+  TraceContextWire ctx;
+  ctx.trace_id = 0x1122334455667788ull;
+  ctx.parent_span = 0xa1a2a3a4a5a6a7a8ull;
+  ctx.budget_us = 250000;
+  const std::string block = encode_trace_block(ctx);
+  ASSERT_EQ(block.size(), kFrameTraceBytes);
+  EXPECT_EQ(static_cast<std::uint8_t>(block[0]), kFrameTraceVersion);
+
+  TraceContextWire decoded;
+  ASSERT_TRUE(decode_trace_block(block, decoded));
+  EXPECT_EQ(decoded.trace_id, ctx.trace_id);
+  EXPECT_EQ(decoded.parent_span, ctx.parent_span);
+  EXPECT_EQ(decoded.budget_us, ctx.budget_us);
+
+  std::string wrong_version = block;
+  wrong_version[0] = 9;
+  EXPECT_FALSE(decode_trace_block(wrong_version, decoded));
+  EXPECT_FALSE(decode_trace_block(block.substr(0, kFrameTraceBytes - 1),
+                                  decoded));
+  EXPECT_FALSE(decode_trace_block(block + "x", decoded));
+}
+
+TEST(ProtocolCodec, FrameWithTraceSetsBothFlagsAndSniffsAsBinary) {
+  TraceContextWire ctx;
+  ctx.trace_id = 7;
+  ctx.parent_span = 19;
+  ctx.budget_us = 1000;
+  const std::string frame = encode_frame_with_trace("body", 42, ctx);
+  ASSERT_EQ(frame.size(),
+            kFramePrefixBytes + kFrameIdBytes + kFrameTraceBytes + 4);
+  // Both flag bits set: the first byte is >= 0xC0, which the server's
+  // text-vs-binary sniff must classify as binary (a lone trace flag would
+  // be 0x40 = '@' and read as text — the reason the flag pairing exists).
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[0]), 0xC0);
+  std::uint32_t prefix = 0;
+  for (std::size_t i = 0; i < kFramePrefixBytes; ++i)
+    prefix = (prefix << 8) | static_cast<std::uint8_t>(frame[i]);
+  EXPECT_EQ(prefix & kFrameLenMask, 4u);
+  // Id, then the trace block, then the body.
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[kFramePrefixBytes + kFrameIdBytes -
+                                            1]),
+            42u);
+  TraceContextWire decoded;
+  ASSERT_TRUE(decode_trace_block(
+      std::string_view(frame).substr(kFramePrefixBytes + kFrameIdBytes,
+                                     kFrameTraceBytes),
+      decoded));
+  EXPECT_EQ(decoded.trace_id, 7u);
+  EXPECT_EQ(frame.substr(kFramePrefixBytes + kFrameIdBytes + kFrameTraceBytes),
+            "body");
+}
+
+TEST(ProtocolCodec, StripTextEnvelopeUnderstandsAllThreeForms) {
+  std::uint64_t id = 0;
+  TraceContextWire trace;
+
+  std::string_view line = "#42@7:19:250000 stats";
+  EXPECT_EQ(strip_text_envelope(line, id, trace), TextEnvelope::kTraced);
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(trace.trace_id, 7u);
+  EXPECT_EQ(trace.parent_span, 19u);
+  EXPECT_EQ(trace.budget_us, 250000u);
+  EXPECT_EQ(line, "stats");
+
+  line = "#42 stats";  // plain id: unchanged semantics.
+  EXPECT_EQ(strip_text_envelope(line, id, trace), TextEnvelope::kId);
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(line, "stats");
+
+  line = "stats";  // pre-id client, untouched.
+  EXPECT_EQ(strip_text_envelope(line, id, trace), TextEnvelope::kNone);
+  EXPECT_EQ(line, "stats");
+
+  // A bad context suffix is kMalformed — never read as an untraced id — and
+  // the parsed id is still reported for the error echo.
+  for (const std::string_view bad :
+       {"#42@ stats", "#42@7 stats", "#42@7:19 stats", "#42@x:19:1 stats",
+        "#42@7:x:1 stats", "#42@7:19:x stats", "#42@7:19:1x stats",
+        "#42@7:19:99999999999999999999 stats"}) {
+    std::string_view untouched = bad;
+    id = 0;
+    EXPECT_EQ(strip_text_envelope(untouched, id, trace),
+              TextEnvelope::kMalformed)
+        << bad;
+    EXPECT_EQ(untouched, bad);
+    EXPECT_EQ(id, 42u) << bad;
+  }
+}
+
+TEST_F(TransportTest, TracedBinaryFrameExecutesAndEchoesIdOnly) {
+  InProcessTransport transport(engine_, &metrics_);
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  TraceContextWire ctx;
+  ctx.trace_id = 77;
+  ctx.parent_span = 5;
+  ctx.budget_us = 100000;
+  const std::string frame = transport.roundtrip_binary(
+      encode_frame_with_trace(encode_request(request), 0xabcdull, ctx));
+
+  std::uint32_t prefix = 0;
+  for (std::size_t i = 0; i < kFramePrefixBytes; ++i)
+    prefix = (prefix << 8) | static_cast<std::uint8_t>(frame[i]);
+  ASSERT_TRUE(prefix & kFrameIdFlag);
+  // Responses never carry the trace block: id echo only, byte-identical to
+  // an untraced id exchange.
+  EXPECT_FALSE(prefix & kFrameTraceFlag);
+  std::uint64_t echoed = 0;
+  for (std::size_t i = 0; i < kFrameIdBytes; ++i)
+    echoed = (echoed << 8) |
+             static_cast<std::uint8_t>(frame[kFramePrefixBytes + i]);
+  EXPECT_EQ(echoed, 0xabcdull);
+  const auto response = decode_response(
+      std::string_view(frame).substr(kFramePrefixBytes + kFrameIdBytes));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok);
+  EXPECT_EQ(frame, transport.roundtrip_binary(encode_frame_with_id(
+                       encode_request(request), 0xabcdull)));
+}
+
+TEST_F(TransportTest, LoneTraceFlagAndBadVersionAreMalformed) {
+  InProcessTransport transport(engine_, &metrics_);
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  TraceContextWire ctx;
+  ctx.trace_id = 1;
+
+  // Trace flag without the id flag: invalid by construction.
+  std::string lone = encode_frame_with_trace(encode_request(request), 9, ctx);
+  lone[0] = static_cast<char>(static_cast<std::uint8_t>(lone[0]) & ~0x80u);
+  lone.erase(kFramePrefixBytes, kFrameIdBytes);  // drop the id the flag lost.
+  const auto lone_response = decode_response(
+      std::string_view(transport.roundtrip_binary(lone))
+          .substr(kFramePrefixBytes));
+  ASSERT_TRUE(lone_response.has_value());
+  EXPECT_FALSE(lone_response->ok);
+  EXPECT_EQ(lone_response->code, ErrorCode::kMalformed);
+
+  // Unknown trace-block version: rejected, id still echoed.
+  std::string bad = encode_frame_with_trace(encode_request(request), 9, ctx);
+  bad[kFramePrefixBytes + kFrameIdBytes] = 9;  // version byte.
+  const std::string bad_frame = transport.roundtrip_binary(bad);
+  const auto bad_response = decode_response(std::string_view(bad_frame).substr(
+      kFramePrefixBytes + kFrameIdBytes));
+  ASSERT_TRUE(bad_response.has_value());
+  EXPECT_FALSE(bad_response->ok);
+  EXPECT_EQ(bad_response->code, ErrorCode::kMalformed);
+}
+
+TEST_F(TransportTest, TracedTextLineExecutesAndMalformedContextErrs) {
+  InProcessTransport transport(engine_, &metrics_);
+  EXPECT_EQ(transport.roundtrip_text("#31@7:19:1000 fleet-power"),
+            "#31 OK 24 72");
+  EXPECT_EQ(transport.roundtrip_text("#31@7:19 fleet-power"),
+            "#31 ERR 1 malformed trace context");
+}
+
+TEST_F(ServerTest, TracedQueriesRoundTripOverTcpAndSurviveMalformedContext) {
+  Server server(engine_, metrics_, quick_options());
+  Client client(server.port());
+
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  TraceContextWire ctx;
+  ctx.trace_id = 404;
+  ctx.parent_span = 17;
+  ctx.budget_us = 250000;
+  Response response = client.query_with_trace(request, 61, ctx);
+  ASSERT_TRUE(response.ok);
+  EXPECT_DOUBLE_EQ(response.values.at(0), 72.0);
+
+  // A traced frame with an unknown block version: answered kMalformed with
+  // the id echoed, and the connection stays usable — the frame length is
+  // still trusted for resync.
+  std::string bad = encode_frame_with_trace(encode_request(request), 62, ctx);
+  bad[kFramePrefixBytes + kFrameIdBytes] = 9;
+  client.send_raw(bad);
+  const auto [echoed, error] = client.recv_response_with_id();
+  EXPECT_EQ(echoed, 62u);
+  EXPECT_FALSE(error.ok);
+  EXPECT_EQ(error.code, ErrorCode::kMalformed);
+
+  response = client.query_with_trace(request, 63, ctx);
+  EXPECT_TRUE(response.ok);
+
+  // Text protocol on the same server: traced line executes, malformed
+  // context errs with the id echo, and the connection survives both.
+  Client text_client(server.port());
+  EXPECT_EQ(text_client.query_text("#9@404:17:250000 fleet-power"),
+            "#9 OK 24 72");
+  EXPECT_EQ(text_client.query_text("#10@404 fleet-power"),
+            "#10 ERR 1 malformed trace context");
+  EXPECT_EQ(text_client.query_text("fleet-power"), "OK 24 72");
+  server.stop();
+}
+
+// --- per-query profiling + SLO health ---------------------------------------
+
+TEST_F(ServerTest, ProfilerRecordsStageBreakdownAndHealthScrapeRendersIt) {
+  obs::SloOptions slo_options;
+  slo_options.latency_threshold_s = 0.5;
+  slo_options.metrics = &metrics_;
+  obs::SloTracker slo(slo_options);
+  ServeProfiler profiler({.slow_threshold_s = 10.0,  // nothing "slow" here.
+                          .metrics = &metrics_,
+                          .slo = &slo});
+  ServerOptions options = quick_options();
+  options.profiler = &profiler;
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  for (std::uint64_t i = 1; i <= 8; ++i)
+    ASSERT_TRUE(client.query_with_id(request, i).ok);
+  ASSERT_TRUE(client.query(request).ok);  // ordered path profiles too.
+
+  // Wait until the last write-side observe lands (answered != observed
+  // ordering is possible for an instant after recv).
+  for (int spin = 0; spin < 1000 && profiler.observed() < 9; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(profiler.observed(), 9u);
+  EXPECT_EQ(profiler.total_sketch().count(), 9u);
+  EXPECT_EQ(profiler.stage_sketch(Stage::kExecute).count(), 9u);
+  // Every profiled stage is nonnegative and total covers the sum of stages.
+  const auto slow = profiler.slow_queries();
+  EXPECT_TRUE(slow.empty());
+
+  // Counter/gauge checks happen before the scrape: the HEALTH request is
+  // itself profiled once it completes, so post-scrape counts are racy.
+  profiler.publish();
+  const std::string dump = metrics_.to_prometheus();
+  EXPECT_NE(dump.find("vmpower_serve_stage_latency_seconds{stage=\"execute\","
+                      "q=\"p50\"}"),
+            std::string::npos);
+  EXPECT_NE(dump.find("vmpower_serve_profiled_total 9"), std::string::npos);
+  EXPECT_NE(dump.find("vmpower_slo_requests_total 9"), std::string::npos);
+
+  // The protocol sniff latches per connection; scrape over a fresh text one.
+  Client scraper(server.port());
+  const std::string health = scraper.scrape("HEALTH");
+  EXPECT_NE(health.find("health queries=9"), std::string::npos);
+  EXPECT_NE(health.find("stage execute count=9"), std::string::npos);
+  EXPECT_NE(health.find("stage queue_wait"), std::string::npos);
+  EXPECT_NE(health.find("stage total"), std::string::npos);
+  EXPECT_NE(health.find("slo latency window=fast"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, BudgetOverrunAndSlowThresholdFeedTheSlowQueryLog) {
+  ServeProfiler profiler({.slow_threshold_s = 0.040, .metrics = &metrics_});
+  ServerOptions options = quick_options();
+  options.profiler = &profiler;
+  options.worker_delay = std::chrono::milliseconds(60);
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  // Budget overrun outranks the plain threshold as the logged trigger.
+  TraceContextWire ctx;
+  ctx.trace_id = 505;
+  ctx.budget_us = 1000;  // 1 ms against a 60 ms stall.
+  ASSERT_TRUE(client.query_with_trace(request, 1, ctx).ok);
+  // Untraced slow query: threshold trigger.
+  ASSERT_TRUE(client.query_with_id(request, 2).ok);
+
+  for (int spin = 0; spin < 1000 && profiler.observed() < 2; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto slow = profiler.slow_queries();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_STREQ(slow[0].trigger, "budget");
+  EXPECT_EQ(slow[0].profile.trace_id, 505u);
+  EXPECT_EQ(slow[0].profile.budget_us, 1000u);
+  EXPECT_GT(slow[0].profile.total_s, 0.05);
+  EXPECT_STREQ(slow[1].trigger, "threshold");
+  // Counter checks before the scrape: the 60 ms-stalled HEALTH request will
+  // itself enter the slow log once it completes.
+  const std::string dump = metrics_.to_prometheus();
+  EXPECT_NE(
+      dump.find("vmpower_serve_slow_queries_total{trigger=\"budget\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      dump.find("vmpower_serve_slow_queries_total{trigger=\"threshold\"} 1"),
+      std::string::npos);
+  // The slow-query log line carries the trigger, trace id, and breakdown.
+  // (Fresh connection: the sniff latched this one as binary.)
+  Client scraper(server.port());
+  const std::string health = scraper.scrape("HEALTH");
+  EXPECT_NE(health.find("slowq seq=0 trigger=budget"), std::string::npos);
+  EXPECT_NE(health.find("trace=505"), std::string::npos);
+  EXPECT_NE(health.find("trigger=threshold"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, ShedsUnderFaultInjectionKeepAccountingAndBurnTheSlo) {
+  // Fault injection: an empty token bucket sheds hard, and every shed must
+  // (a) keep the exactly-once response balance and (b) burn the
+  // availability SLO — an answered error is still a failed query.
+  obs::SloOptions slo_options;
+  slo_options.latency_threshold_s = 10.0;
+  slo_options.metrics = &metrics_;
+  obs::SloTracker slo(slo_options);
+  ServeProfiler profiler({.slow_threshold_s = 10.0,
+                          .metrics = &metrics_,
+                          .slo = &slo});
+  ServerOptions options = quick_options();
+  options.profiler = &profiler;
+  options.tokens_per_s = 0.001;
+  options.token_burst = 2.0;  // two tokens, then sheds.
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+
+  Request request;
+  request.kind = QueryKind::kFleetPower;
+  std::size_t ok = 0, shed = 0;
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    const Response response = client.query_with_id(request, i);
+    if (response.ok)
+      ++ok;
+    else if (response.code == ErrorCode::kThrottled)
+      ++shed;
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(shed, 6u);
+
+  for (int spin = 0; spin < 1000 && profiler.observed() < 8; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // Every request — sheds included — was profiled exactly once, and the
+  // server's exactly-once balance holds.
+  EXPECT_EQ(profiler.observed(), 8u);
+  EXPECT_EQ(server.admitted(), 8u);
+  EXPECT_EQ(server.answered(), 8u);
+  EXPECT_EQ(server.outstanding(), 0u);
+
+  const auto health = slo.health();
+  EXPECT_EQ(health.availability_fast.total, 8u);
+  EXPECT_EQ(health.availability_fast.bad, 6u);
+  EXPECT_GT(health.availability_fast.burn_rate, 100.0);
+  // Scrape over a fresh connection: this one's bucket is empty and would
+  // shed the HEALTH line itself.
+  Client scraper(server.port());
+  const std::string text = scraper.scrape("HEALTH");
+  EXPECT_NE(text.find("slo availability window=fast"), std::string::npos);
+  EXPECT_NE(text.find("bad=6"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, HealthScrapeWithoutProfilerSaysSo) {
+  Server server(engine_, metrics_, quick_options());
+  Client client(server.port());
+  EXPECT_EQ(client.scrape("HEALTH"), "health profiler=off\n");
+  server.stop();
+}
+
 }  // namespace
 }  // namespace vmp::serve

@@ -1,0 +1,173 @@
+#include "util/quantile_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace vmp::util {
+namespace {
+
+/// Exact quantile of a sorted sample, matching the sketch's rank convention
+/// (rank = floor(q * (n - 1))).
+double sorted_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+/// |estimate - truth| <= alpha * truth — the sketch's advertised bound.
+void expect_within_alpha(double estimate, double truth, double alpha) {
+  EXPECT_LE(std::abs(estimate - truth), alpha * truth + 1e-12)
+      << "estimate " << estimate << " vs truth " << truth;
+}
+
+TEST(QuantileSketch, EmptySketchReportsZeroes) {
+  QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+}
+
+TEST(QuantileSketch, RejectsBadAlpha) {
+  EXPECT_THROW(QuantileSketch(0.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(1.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(-0.5), std::invalid_argument);
+}
+
+TEST(QuantileSketch, SingleValueIsReturnedWithinRelativeError) {
+  QuantileSketch sketch(0.01);
+  sketch.record(0.125);
+  for (const double q : {0.0, 0.5, 0.99, 1.0})
+    expect_within_alpha(sketch.quantile(q), 0.125, 0.01);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.125);
+  EXPECT_EQ(sketch.count(), 1u);
+}
+
+TEST(QuantileSketch, UniformStreamQuantilesWithinAlphaOfSortedReference) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> uniform(1e-4, 2.0);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double value = uniform(rng);
+    values.push_back(value);
+    sketch.record(value);
+  }
+  for (const double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999})
+    expect_within_alpha(sketch.quantile(q), sorted_quantile(values, q), alpha);
+}
+
+TEST(QuantileSketch, StageLikeHeavyTailKeepsRelativeAccuracyAtBothEnds) {
+  // Serve-stage shape: most probes are sub-microsecond, a tail of coalesce
+  // holds reaches seconds — six orders of magnitude in one stream. A fixed
+  // bucket layout would lose one end; the log sketch must hold both.
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  std::mt19937_64 rng(13);
+  std::lognormal_distribution<double> lognormal(-13.0, 3.0);
+  std::vector<double> values;
+  values.reserve(30000);
+  for (int i = 0; i < 30000; ++i) {
+    const double value = lognormal(rng);
+    values.push_back(value);
+    sketch.record(value);
+  }
+  for (const double q : {0.01, 0.50, 0.99})
+    expect_within_alpha(sketch.quantile(q), sorted_quantile(values, q), alpha);
+}
+
+TEST(QuantileSketch, ZeroAndNegativeValuesLandInZeroBucket) {
+  QuantileSketch sketch(0.01);
+  sketch.record(0.0);
+  sketch.record(-1.0);                            // defensive clamp.
+  sketch.record(QuantileSketch::kMinTrackable);   // at the boundary.
+  sketch.record(1.0);
+  EXPECT_EQ(sketch.count(), 4u);
+  // Three of four values are in the zero bucket: p50 must report 0.
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  expect_within_alpha(sketch.quantile(1.0), 1.0, 0.01);
+  EXPECT_EQ(sketch.bucket_count(), 1u);  // only 1.0 materialised a bucket.
+}
+
+TEST(QuantileSketch, NanIsClampedNotPropagated) {
+  QuantileSketch sketch(0.01);
+  sketch.record(std::nan(""));
+  sketch.record(2.0);
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_FALSE(std::isnan(sketch.quantile(0.5)));
+  expect_within_alpha(sketch.quantile(1.0), 2.0, 0.01);
+}
+
+TEST(QuantileSketch, MergeEqualsFeedingOneSketch) {
+  const double alpha = 0.02;
+  QuantileSketch merged(alpha), reference(alpha);
+  QuantileSketch parts[3] = {QuantileSketch(alpha), QuantileSketch(alpha),
+                             QuantileSketch(alpha)};
+  std::mt19937_64 rng(23);
+  std::exponential_distribution<double> exponential(50.0);
+  for (int i = 0; i < 9000; ++i) {
+    const double value = exponential(rng);
+    reference.record(value);
+    parts[i % 3].record(value);
+  }
+  for (const QuantileSketch& part : parts) merged.merge(part);
+  EXPECT_EQ(merged.count(), reference.count());
+  // Sums reassociate across the partition, so bit-equality is too strict.
+  EXPECT_NEAR(merged.sum(), reference.sum(), 1e-9 * reference.sum());
+  EXPECT_DOUBLE_EQ(merged.max(), reference.max());
+  // Merge is exact (no re-bucketing): quantiles match to the bit, not just
+  // within alpha.
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(merged.quantile(q), reference.quantile(q)) << q;
+}
+
+TEST(QuantileSketch, MergeIsAssociative) {
+  const double alpha = 0.01;
+  QuantileSketch a(alpha), b(alpha), c(alpha);
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> uniform(1e-6, 10.0);
+  for (int i = 0; i < 2000; ++i) a.record(uniform(rng));
+  for (int i = 0; i < 3000; ++i) b.record(uniform(rng));
+  for (int i = 0; i < 1000; ++i) c.record(uniform(rng));
+
+  QuantileSketch left(a);   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  QuantileSketch bc(b);     // a + (b + c)
+  bc.merge(c);
+  QuantileSketch right(a);
+  right.merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(left.quantile(q), right.quantile(q)) << q;
+}
+
+TEST(QuantileSketch, MergeRejectsAlphaMismatch) {
+  QuantileSketch fine(0.01), coarse(0.05);
+  fine.record(1.0);
+  coarse.record(1.0);
+  EXPECT_THROW(fine.merge(coarse), std::invalid_argument);
+}
+
+TEST(QuantileSketch, ClearResetsEverything) {
+  QuantileSketch sketch(0.01);
+  for (int i = 1; i <= 100; ++i) sketch.record(0.001 * i);
+  sketch.clear();
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.bucket_count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.99), 0.0);
+}
+
+}  // namespace
+}  // namespace vmp::util

@@ -10,8 +10,9 @@ Checks the grammar rules the MetricsRegistry exporter promises:
     and every family's lines are contiguous;
   * sample values parse as floats (including +Inf/-Inf/NaN);
   * counter samples are non-negative;
-  * histogram families expose _bucket series with ascending, cumulative le
-    boundaries ending in a +Inf bucket that equals _count, plus _sum/_count.
+  * histogram families expose _bucket series with strictly ascending,
+    cumulative le boundaries (a repeated bound is rejected) ending in a
+    +Inf bucket that equals _count, plus _sum/_count.
 
 Exits 0 when the input is valid, 1 with one message per violation otherwise.
 """
@@ -135,8 +136,9 @@ def check_histograms(samples, types, errors):
         bounds = [b for b, _, _ in buckets]
         if any(b is None for b in bounds):
             continue  # already reported.
-        if bounds != sorted(bounds):
-            errors.append(f"{where}: le bounds not ascending: {bounds}")
+        if any(bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)):
+            errors.append(
+                f"{where}: le bounds not strictly ascending: {bounds}")
         if not math.isinf(bounds[-1]):
             errors.append(f"{where}: missing le=\"+Inf\" bucket")
         counts = [c for _, c, _ in buckets]

@@ -46,9 +46,13 @@
 //       run a short traced fleet + query workload and dump the span ring as
 //       Chrome trace-event JSONL (chrome://tracing, Perfetto).
 //
-//   vmpower scrape --port 7077 [--what metrics|trace]
-//       pull a Prometheus exposition (or trace JSONL) from a running
+//   vmpower scrape --port 7077 [--what metrics|trace|health]
+//       pull a Prometheus exposition, trace JSONL, or the HEALTH payload
+//       (stage latency quantiles, SLO cells, slow-query log) from a running
 //       `vmpower serve` over its text protocol.
+//
+//   vmpower slo --port 7077
+//       print the serving tier's SLO compliance and burn rates.
 //
 //   vmpower ledger inspect|verify|compact --dir DIR
 //       examine or maintain a durable attribution ledger directory (the
@@ -77,8 +81,10 @@
 #include "core/pricing.hpp"
 #include "fleet/engine.hpp"
 #include "ledger/ledger.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/client.hpp"
+#include "serve/profile.hpp"
 #include "serve/query.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
@@ -126,6 +132,12 @@ commands:
           [--seconds-per-hour S] [--seed N] [--collect-duration S]
           [--ledger DIR] [--segment-records N] [--checkpoint FILE]
           [--metrics FILE] [--trace] [--trace-out FILE]
+          [--slow-ms D] [--slo-ms D] [--slo-target Q]
+          --slow-ms D      total latency at which a query enters the
+                           slow-query log (default 50)
+          --slo-ms D       SLO latency threshold (default: --slow-ms)
+          --slo-target Q   latency objective, fraction of queries that must
+                           finish under --slo-ms (default 0.99)
           --ledger DIR     append every published snapshot to a durable
                            write-ahead ledger; window queries older than the
                            retention ring fall through to it
@@ -145,6 +157,8 @@ commands:
           [--deadline-ms D] [--retries R] [--backoff-ms B]
           [--hedge] [--hedge-delay-ms H] [--skew accept|reject] [--max-skew N]
           [--query "verb args"] [--linger S] [--metrics FILE]
+          [--trace] [--trace-out FILE]
+          [--slow-ms D] [--slo-ms D] [--slo-target Q]
           [--fleet VM1,... --hosts N --tenants K --duration TICKS --seed N
            --collect-duration S]   (shard shape under --spin)
           --shards         fleet-id=endpoint map of running `vmpower serve`
@@ -160,7 +174,10 @@ commands:
                            otherwise serve on --port for --linger seconds
   trace   [--fleet VM1,...] [--hosts N] [--duration TICKS] [--out FILE]
           [--seed N] [--collect-duration S]
-  scrape  --port P [--what metrics|trace] [--out FILE]
+  scrape  --port P [--what metrics|trace|health] [--out FILE]
+  slo     --port P [--full]   SLO compliance and burn rates from a running
+                              server's HEALTH scrape; --full adds the
+                              per-stage latency quantiles and slow-query log
   ledger  inspect --dir DIR   list segments, extent, and recovery findings
           verify  --dir DIR   full-scan integrity check (read-only; exit 1
                               on torn records or epoch gaps)
@@ -495,6 +512,9 @@ int cmd_serve(const util::CliArgs& args) {
   server_options.token_burst = args.get_double("burst", 1000.0);
   server_options.out_of_order = !args.has("ordered");
   server_options.validate();
+  const double slow_ms = args.get_double("slow-ms", 50.0);
+  const double slo_ms = args.get_double("slo-ms", slow_ms);
+  const double slo_target = args.get_double("slo-target", 0.99);
 
   core::CollectionOptions collect;
   collect.duration_s = args.get_double("collect-duration", 120.0);
@@ -551,6 +571,22 @@ int cmd_serve(const util::CliArgs& args) {
 
   query_options.metrics = &engine.metrics();
   serve::QueryEngine queries(store, query_options);
+
+  // Per-query stage profiling + SLO health, always on for a served fleet:
+  // the HEALTH scrape, the slow-query log, and the vmpower_serve_stage_* /
+  // vmpower_slo_* families all hang off this profiler.
+  obs::SloOptions slo_options;
+  slo_options.latency_threshold_s = slo_ms / 1000.0;
+  slo_options.latency_objective = slo_target;
+  slo_options.metrics = &engine.metrics();
+  obs::SloTracker slo(slo_options);
+  serve::ServeProfilerOptions profiler_options;
+  profiler_options.slow_threshold_s = slow_ms / 1000.0;
+  profiler_options.metrics = &engine.metrics();
+  profiler_options.slo = &slo;
+  serve::ServeProfiler profiler(profiler_options);
+  server_options.profiler = &profiler;
+
   serve::Server server(queries, engine.metrics(), server_options);
 
   const bool dump = arm_tracer(args);
@@ -594,6 +630,7 @@ int cmd_serve(const util::CliArgs& args) {
   }
   if (args.has("metrics")) {
     const std::string metrics_path = args.require("metrics");
+    profiler.publish();  // fold the latest sketch quantiles into the gauges.
     engine.metrics().write_prometheus(metrics_path);
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
@@ -725,6 +762,24 @@ int cmd_federate(const util::CliArgs& args) {
   }
 
   federate::FederationFrontend frontend(std::move(map), fed_options);
+  const bool dump = arm_tracer(args);
+
+  // Federated per-query profiling: every stage of a federated query — the
+  // whole scatter-gather inside "execute" — lands in the same HEALTH /
+  // vmpower_serve_stage_* machinery a single fleet exports.
+  const double slow_ms = args.get_double("slow-ms", 150.0);
+  obs::SloOptions slo_options;
+  slo_options.latency_threshold_s =
+      args.get_double("slo-ms", slow_ms) / 1000.0;
+  slo_options.latency_objective = args.get_double("slo-target", 0.99);
+  slo_options.metrics = &metrics;
+  obs::SloTracker slo(slo_options);
+  serve::ServeProfilerOptions profiler_options;
+  profiler_options.slow_threshold_s = slow_ms / 1000.0;
+  profiler_options.metrics = &metrics;
+  profiler_options.slo = &slo;
+  serve::ServeProfiler profiler(profiler_options);
+
   if (args.has("query")) {
     const auto request = serve::parse_request_text(args.require("query"));
     if (!request)
@@ -739,6 +794,7 @@ int cmd_federate(const util::CliArgs& args) {
         static_cast<std::uint16_t>(args.get_long("port", 7080));
     server_options.workers =
         static_cast<std::size_t>(args.get_long("workers", 2));
+    server_options.profiler = &profiler;
     server_options.validate();
     serve::Server server(frontend, metrics, server_options);
     const double linger = args.get_double("linger", 60.0);
@@ -750,9 +806,11 @@ int cmd_federate(const util::CliArgs& args) {
 
   if (args.has("metrics")) {
     const std::string metrics_path = args.require("metrics");
+    profiler.publish();
     metrics.write_prometheus(metrics_path);
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
+  if (dump) dump_trace(args);
   for (auto& shard : spun) shard->stop();
   return 0;
 }
@@ -825,8 +883,10 @@ int cmd_scrape(const util::CliArgs& args) {
   std::string command;
   if (what == "metrics") command = "METRICS";
   else if (what == "trace") command = "TRACE";
+  else if (what == "health") command = "HEALTH";
   else
-    throw std::invalid_argument("scrape: --what must be metrics or trace");
+    throw std::invalid_argument(
+        "scrape: --what must be metrics, trace, or health");
   serve::Client client(port);
   const std::string payload = client.scrape(command);
   if (args.has("out")) {
@@ -838,6 +898,34 @@ int cmd_scrape(const util::CliArgs& args) {
                 payload.size(), out.c_str());
   } else {
     std::fputs(payload.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_slo(const util::CliArgs& args) {
+  const auto port =
+      static_cast<std::uint16_t>(std::stoul(args.require("port")));
+  serve::Client client(port);
+  const std::string payload = client.scrape("HEALTH");
+  if (payload.rfind("health profiler=off", 0) == 0) {
+    std::fprintf(stderr,
+                 "slo: the server on port %u runs without a profiler\n", port);
+    return 1;
+  }
+  // Default view: the health header and the SLO cells. --full adds the
+  // per-stage quantiles and the slow-query log (the whole HEALTH payload).
+  if (args.has("full")) {
+    std::fputs(payload.c_str(), stdout);
+    return 0;
+  }
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find('\n', pos);
+    if (end == std::string::npos) end = payload.size();
+    const std::string line = payload.substr(pos, end - pos);
+    if (line.rfind("health ", 0) == 0 || line.rfind("slo ", 0) == 0)
+      std::printf("%s\n", line.c_str());
+    pos = end + 1;
   }
   return 0;
 }
@@ -938,6 +1026,7 @@ int main(int argc, char** argv) {
     if (command == "federate") return cmd_federate(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "scrape") return cmd_scrape(args);
+    if (command == "slo") return cmd_slo(args);
     if (command == "ledger") return cmd_ledger(args);
     std::fputs(kUsage, command.empty() ? stdout : stderr);
     return command.empty() ? 0 : 2;
