@@ -49,6 +49,18 @@ FederationFrontend::FederationFrontend(ShardMap map, FrontendOptions options)
   options_.validate();
   if (map_.empty())
     throw std::invalid_argument("federation: empty shard map");
+  if (options_.pooled) {
+    PoolOptions pool_options;
+    pool_options.max_idle_per_endpoint = options_.max_idle_per_endpoint;
+    pool_options.metrics = options_.metrics;
+    pool_ = std::make_unique<ConnectionPool>(pool_options);
+    // Sized for a couple of concurrent fan-outs by default; hedge legs run
+    // on their own threads, so a worker is one shard leg.
+    std::size_t workers = options_.workers;
+    if (workers == 0)
+      workers = std::clamp<std::size_t>(map_.size() * 2, 1, 64);
+    dispatch_ = std::make_unique<util::ThreadPool>(workers);
+  }
   if (fleet::Metrics* m = options_.metrics) {
     fanouts_ = &m->counter("vmpower_fed_fanouts_total",
                            "Federated queries fanned out to the shards");
@@ -77,36 +89,76 @@ FederationFrontend::FederationFrontend(ShardMap map, FrontendOptions options)
   }
 }
 
+serve::Response FederationFrontend::send_on(serve::Client& client,
+                                            const serve::Request& request) {
+  // Propagate the trace across the process boundary: the shard's server
+  // adopts this attempt's span as its remote parent, so the stitched tree
+  // shows the shard's execute nested under exactly the attempt (first try,
+  // retry, or hedge) that carried it. Only when a trace is actually armed
+  // and ambient — untraced fan-outs stay on the plain id-less frame.
+  const std::uint64_t trace_id = obs::Tracer::global().enabled()
+                                     ? obs::TraceContext::current_trace()
+                                     : 0;
+  if (trace_id != 0) {
+    serve::TraceContextWire wire;
+    wire.trace_id = trace_id;
+    wire.parent_span = obs::current_span();
+    wire.budget_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            options_.deadline)
+            .count());
+    const std::uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return client.query_with_trace(request, request_id, wire);
+  }
+  return client.query(request);
+}
+
 std::optional<serve::Response> FederationFrontend::attempt(
     std::uint16_t port, const serve::Request& request) {
-  try {
-    serve::Client client(port);
-    client.set_timeout(options_.deadline);
-    // Propagate the trace across the process boundary: the shard's server
-    // adopts this attempt's span as its remote parent, so the stitched tree
-    // shows the shard's execute nested under exactly the attempt (first try,
-    // retry, or hedge) that carried it. Only when a trace is actually armed
-    // and ambient — untraced fan-outs stay on the plain id-less frame.
-    const std::uint64_t trace_id = obs::Tracer::global().enabled()
-                                       ? obs::TraceContext::current_trace()
-                                       : 0;
-    if (trace_id != 0) {
-      serve::TraceContextWire wire;
-      wire.trace_id = trace_id;
-      wire.parent_span = obs::current_span();
-      wire.budget_us = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              options_.deadline)
-              .count());
-      const std::uint64_t request_id =
-          next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-      return client.query_with_trace(request, request_id, wire);
+  if (!pool_) {
+    // Legacy unpooled transport: one fresh connection per attempt.
+    try {
+      serve::Client client(port);
+      client.set_timeout(options_.deadline);
+      return send_on(client, request);
+    } catch (const serve::TimeoutError&) {
+      return std::nullopt;
+    } catch (const std::runtime_error&) {
+      return std::nullopt;
     }
-    return client.query(request);
-  } catch (const serve::TimeoutError&) {
-    return std::nullopt;
+  }
+  ConnectionPool::Lease lease;
+  try {
+    lease = pool_->checkout(port, options_.deadline);
   } catch (const std::runtime_error&) {
-    return std::nullopt;
+    return std::nullopt;  // endpoint unreachable; counts toward ejection.
+  }
+  while (true) {
+    try {
+      serve::Response response = send_on(*lease.client, request);
+      pool_->checkin(std::move(lease));
+      return response;
+    } catch (const serve::TimeoutError&) {
+      // Slow is not stale: the peer is alive but over deadline, and the
+      // socket may be mid-message — discard it, never reconnect-retry.
+      pool_->discard(std::move(lease));
+      return std::nullopt;
+    } catch (const std::runtime_error&) {
+      if (!lease.reused) {
+        // A fresh connection failing outright is a real shard failure.
+        pool_->discard(std::move(lease));
+        return std::nullopt;
+      }
+      // A reused connection dying on first use (EOF/ECONNRESET) usually
+      // means the shard restarted while it idled. Reconnect once — the
+      // replacement lease is fresh, so a second failure exits above.
+      try {
+        lease = pool_->reconnect(std::move(lease), options_.deadline);
+      } catch (const std::runtime_error&) {
+        return std::nullopt;
+      }
+    }
   }
 }
 
@@ -254,7 +306,12 @@ void FederationFrontend::reap_strays(bool final) {
     if (stray.thread.joinable()) stray.thread.join();
 }
 
-FederationFrontend::~FederationFrontend() { reap_strays(true); }
+FederationFrontend::~FederationFrontend() {
+  // Drain the dispatcher first — its tasks can park new strays — then join
+  // every stray hedge loser.
+  dispatch_.reset();
+  reap_strays(true);
+}
 
 serve::Response FederationFrontend::execute(const serve::Request& request) {
   const auto start = std::chrono::steady_clock::now();
@@ -279,7 +336,38 @@ serve::Response FederationFrontend::execute(const serve::Request& request) {
   }
 
   std::vector<ShardResult> results(targets.size());
-  {
+  if (dispatch_ && targets.size() == 1) {
+    // Single shard: no parallelism to win; skip the dispatch round trip.
+    results[0] = query_shard(*targets[0], request);
+  } else if (dispatch_) {
+    // Persistent dispatcher: shard legs run as pool tasks with a per-query
+    // countdown instead of wait_idle — execute() is thread-safe, so legs of
+    // concurrent queries interleave on the same workers, and no leg ever
+    // blocks on pool-submitted work (hedge legs keep their own threads), so
+    // the pool's no-nested-blocking rule holds.
+    struct Join {
+      std::mutex mutex;
+      std::condition_variable cv;
+      std::size_t remaining = 0;
+    };
+    auto join = std::make_shared<Join>();
+    join->remaining = targets.size();
+    for (std::size_t i = 0; i < targets.size(); ++i)
+      dispatch_->submit([this, &request, &results, i, shard = targets[i],
+                         trace_id, parent_span, join] {
+        VMP_TRACE_CONTEXT_PARENTED(trace_id, parent_span);
+        results[i] = query_shard(*shard, request);
+        bool last = false;
+        {
+          std::lock_guard lock(join->mutex);
+          last = --join->remaining == 0;
+        }
+        if (last) join->cv.notify_all();
+      });
+    std::unique_lock lock(join->mutex);
+    join->cv.wait(lock, [&] { return join->remaining == 0; });
+  } else {
+    // Legacy fan-out: one thread per shard per query.
     std::vector<std::thread> threads;
     threads.reserve(targets.size());
     for (std::size_t i = 0; i < targets.size(); ++i)

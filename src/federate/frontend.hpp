@@ -49,11 +49,14 @@
 #include <vector>
 
 #include "federate/health.hpp"
+#include "federate/pool.hpp"
 #include "federate/shard_map.hpp"
 #include "fleet/metrics.hpp"
 #include "obs/invariants.hpp"
+#include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/query.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vmp::federate {
 
@@ -80,6 +83,18 @@ struct FrontendOptions {
   SkewPolicy skew_policy = SkewPolicy::kAccept;
   /// Largest tolerated (max - min) shard epoch spread under kReject.
   std::uint64_t max_epoch_skew = 1;
+  /// Pooled transport (the default): shard connections are reused across
+  /// queries through a ConnectionPool and the fan-out runs on a persistent
+  /// dispatch pool instead of a thread per shard per query. False restores
+  /// the legacy connection-per-attempt, thread-per-query fan-out — the
+  /// unpooled baseline arm for benchmarks. Roll-ups are byte-identical
+  /// either way.
+  bool pooled = true;
+  /// Dispatch pool size when pooled; 0 sizes it to shards x 2, clamped to
+  /// [1, 64]. Ignored when pooled is false.
+  std::size_t workers = 0;
+  /// Idle connections kept per shard endpoint when pooled.
+  std::size_t max_idle_per_endpoint = 2;
   HealthOptions health{};
   /// vmpower_fed_* instrumentation; optional.
   fleet::Metrics* metrics = nullptr;
@@ -108,6 +123,12 @@ class FederationFrontend : public serve::QueryHandler {
 
   [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
   [[nodiscard]] ShardHealthTracker& health() noexcept { return health_; }
+  /// The connection pool behind pooled fan-outs; null when pooled is off.
+  [[nodiscard]] ConnectionPool* pool() noexcept { return pool_.get(); }
+  /// Dispatch workers backing pooled fan-outs; 0 when pooled is off.
+  [[nodiscard]] std::size_t dispatch_workers() const noexcept {
+    return dispatch_ ? dispatch_->thread_count() : 0;
+  }
 
  private:
   /// Result of one shard's fan-out leg. `answered` is transport-level:
@@ -120,12 +141,19 @@ class FederationFrontend : public serve::QueryHandler {
   };
 
   /// One attempt against one endpoint; nullopt on timeout/transport error.
-  /// When a trace is ambient (armed tracer + trace context), the request is
-  /// sent as a traced frame: the shard joins this frontend's trace with the
-  /// calling attempt span as remote parent and the per-attempt deadline as
-  /// its declared budget.
+  /// Pooled mode checks a connection out of pool_ and reconnects once when
+  /// a reused connection turns out stale (peer restarted while it idled)
+  /// before giving up — so a single shard restart costs one reconnect, not
+  /// one health-tracker failure. Unpooled mode dials a fresh connection.
   [[nodiscard]] std::optional<serve::Response> attempt(
       std::uint16_t port, const serve::Request& request);
+  /// Sends `request` over an established connection; throws on
+  /// timeout/transport failure. When a trace is ambient (armed tracer +
+  /// trace context), the request is sent as a traced frame: the shard joins
+  /// this frontend's trace with the calling attempt span as remote parent
+  /// and the per-attempt deadline as its declared budget.
+  [[nodiscard]] serve::Response send_on(serve::Client& client,
+                                        const serve::Request& request);
   /// The full per-shard leg: deadline + retries + optional hedge.
   [[nodiscard]] ShardResult query_shard(const FleetShard& shard,
                                         const serve::Request& request);
@@ -149,6 +177,10 @@ class FederationFrontend : public serve::QueryHandler {
   ShardMap map_;
   FrontendOptions options_;
   ShardHealthTracker health_;
+  /// pool_ before dispatch_: the dispatcher (whose tasks hold pool leases)
+  /// is destroyed first.
+  std::unique_ptr<ConnectionPool> pool_;
+  std::unique_ptr<util::ThreadPool> dispatch_;
   std::mutex strays_mutex_;
   std::vector<Stray> strays_;
   /// Request ids stamped on traced shard requests (correlation only; unique

@@ -1,0 +1,120 @@
+#include "federate/pool.hpp"
+
+#include <utility>
+
+namespace vmp::federate {
+
+ConnectionPool::ConnectionPool(PoolOptions options) : options_(options) {
+  if (fleet::Metrics* m = options_.metrics) {
+    hits_counter_ =
+        &m->counter("vmpower_fed_pool_hits_total",
+                    "Shard requests served over a reused pooled connection");
+    misses_counter_ =
+        &m->counter("vmpower_fed_pool_misses_total",
+                    "Shard requests that had to dial a new connection");
+    reconnects_counter_ = &m->counter(
+        "vmpower_fed_pool_reconnects_total",
+        "Stale pooled connections replaced after a first-use failure");
+    evictions_counter_ = &m->counter(
+        "vmpower_fed_pool_evictions_total",
+        "Pooled connections closed instead of parked (idle bound, discards, "
+        "and stale flushes)");
+  }
+}
+
+ConnectionPool::Lease ConnectionPool::dial(std::uint16_t port,
+                                           std::chrono::milliseconds timeout) {
+  // Connect outside mutex_ — a slow or dead endpoint must not serialize
+  // checkouts against healthy ones.
+  Lease lease;
+  lease.client = std::make_unique<serve::Client>(port);
+  lease.client->set_timeout(timeout);
+  lease.port = port;
+  lease.reused = false;
+  return lease;
+}
+
+ConnectionPool::Lease ConnectionPool::checkout(
+    std::uint16_t port, std::chrono::milliseconds timeout) {
+  Lease lease;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = idle_.find(port);
+    if (it != idle_.end() && !it->second.empty()) {
+      lease.client = std::move(it->second.back());
+      it->second.pop_back();
+      lease.port = port;
+      lease.reused = true;
+    }
+  }
+  if (lease.client) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hits_counter_) hits_counter_->inc();
+    lease.client->set_timeout(timeout);
+    return lease;
+  }
+  lease = dial(port, timeout);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (misses_counter_) misses_counter_->inc();
+  return lease;
+}
+
+void ConnectionPool::checkin(Lease lease) {
+  if (!lease.client) return;
+  {
+    std::lock_guard lock(mutex_);
+    std::vector<std::unique_ptr<serve::Client>>& parked = idle_[lease.port];
+    if (parked.size() < options_.max_idle_per_endpoint) {
+      parked.push_back(std::move(lease.client));
+      return;
+    }
+  }
+  // Idle list full: the connection closes with the lease.
+  count_eviction(1);
+}
+
+void ConnectionPool::discard(Lease lease) {
+  if (!lease.client) return;
+  lease.client.reset();
+  count_eviction(1);
+}
+
+ConnectionPool::Lease ConnectionPool::reconnect(
+    Lease stale, std::chrono::milliseconds timeout) {
+  const std::uint16_t port = stale.port;
+  std::uint64_t flushed = 0;
+  if (stale.client) {
+    stale.client.reset();
+    ++flushed;
+  }
+  {
+    // Every connection idling toward this endpoint predates the same peer
+    // restart the stale lease just discovered; flush them all rather than
+    // letting each future checkout trip over its own stale socket.
+    std::lock_guard lock(mutex_);
+    auto it = idle_.find(port);
+    if (it != idle_.end()) {
+      flushed += it->second.size();
+      it->second.clear();
+    }
+  }
+  count_eviction(flushed);
+  Lease lease = dial(port, timeout);
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  if (reconnects_counter_) reconnects_counter_->inc();
+  return lease;
+}
+
+std::size_t ConnectionPool::idle(std::uint16_t port) const {
+  std::lock_guard lock(mutex_);
+  const auto it = idle_.find(port);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+void ConnectionPool::count_eviction(std::uint64_t n) {
+  if (n == 0) return;
+  evictions_.fetch_add(n, std::memory_order_relaxed);
+  if (evictions_counter_) evictions_counter_->inc(n);
+}
+
+}  // namespace vmp::federate

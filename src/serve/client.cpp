@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -31,7 +32,7 @@ void read_or_throw(int fd, char* out, std::size_t want) {
 
 }  // namespace
 
-Client::Client(std::uint16_t port) {
+Client::Client(std::uint16_t port, bool tcp_nodelay) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0)
     throw std::runtime_error("serve client: socket() failed: " +
@@ -47,6 +48,11 @@ Client::Client(std::uint16_t port) {
     fd_ = -1;
     throw std::runtime_error("serve client: cannot connect to 127.0.0.1:" +
                              std::to_string(port) + ": " + what);
+  }
+  if (tcp_nodelay) {
+    // Best-effort: a failed setsockopt costs latency, not correctness.
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   }
 }
 
@@ -128,18 +134,30 @@ std::string Client::recv_line() {
 }
 
 void Client::send_query(const Request& request) {
-  send_raw(encode_frame(encode_request(request)));
+  send_buffer_.clear();
+  const std::size_t start = begin_frame(send_buffer_, false, 0);
+  encode_request_into(request, send_buffer_);
+  finish_frame(send_buffer_, start);
+  send_raw(send_buffer_);
 }
 
 void Client::send_query_with_id(const Request& request,
                                 std::uint64_t request_id) {
-  send_raw(encode_frame_with_id(encode_request(request), request_id));
+  send_buffer_.clear();
+  const std::size_t start = begin_frame(send_buffer_, true, request_id);
+  encode_request_into(request, send_buffer_);
+  finish_frame(send_buffer_, start);
+  send_raw(send_buffer_);
 }
 
 void Client::send_query_with_trace(const Request& request,
                                    std::uint64_t request_id,
                                    const TraceContextWire& trace) {
-  send_raw(encode_frame_with_trace(encode_request(request), request_id, trace));
+  send_buffer_.clear();
+  const std::size_t start = begin_frame(send_buffer_, true, request_id, &trace);
+  encode_request_into(request, send_buffer_);
+  finish_frame(send_buffer_, start);
+  send_raw(send_buffer_);
 }
 
 Response Client::recv_response() {

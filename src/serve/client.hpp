@@ -33,7 +33,10 @@ class TimeoutError : public std::runtime_error {
 class Client {
  public:
   /// Connects to 127.0.0.1:port; throws std::runtime_error on failure.
-  explicit Client(std::uint16_t port);
+  /// `tcp_nodelay` (the default) disables Nagle's algorithm — queries are
+  /// single small frames, so coalescing them behind a delayed ACK only
+  /// costs latency; pass false to measure against the kernel default.
+  explicit Client(std::uint16_t port, bool tcp_nodelay = true);
   ~Client();
 
   Client(const Client&) = delete;
@@ -102,6 +105,10 @@ class Client {
  private:
   int fd_ = -1;
   std::string buffer_;  ///< unread bytes beyond the last line.
+  /// Reusable frame buffer for send_query*: the request body is encoded
+  /// straight into the frame (begin_frame/finish_frame), and the capacity
+  /// survives across sends.
+  std::string send_buffer_;
   std::chrono::milliseconds timeout_{0};  ///< 0 = block forever.
 };
 

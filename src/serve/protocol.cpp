@@ -153,8 +153,9 @@ Response Response::error(ErrorCode code, std::string message,
 std::string encode_frame(std::string_view body) {
   std::string frame;
   frame.reserve(kFramePrefixBytes + body.size());
-  put_u32(frame, static_cast<std::uint32_t>(body.size()));
+  const std::size_t start = begin_frame(frame, false, 0);
   frame.append(body);
+  finish_frame(frame, start);
   return frame;
 }
 
@@ -162,9 +163,9 @@ std::string encode_frame_with_id(std::string_view body,
                                  std::uint64_t request_id) {
   std::string frame;
   frame.reserve(kFramePrefixBytes + kFrameIdBytes + body.size());
-  put_u32(frame, static_cast<std::uint32_t>(body.size()) | kFrameIdFlag);
-  put_u64(frame, request_id);
+  const std::size_t start = begin_frame(frame, true, request_id);
   frame.append(body);
+  finish_frame(frame, start);
   return frame;
 }
 
@@ -174,12 +175,47 @@ std::string encode_frame_with_trace(std::string_view body,
   std::string frame;
   frame.reserve(kFramePrefixBytes + kFrameIdBytes + kFrameTraceBytes +
                 body.size());
-  put_u32(frame, static_cast<std::uint32_t>(body.size()) | kFrameIdFlag |
-                     kFrameTraceFlag);
-  put_u64(frame, request_id);
-  frame += encode_trace_block(ctx);
+  const std::size_t start = begin_frame(frame, true, request_id, &ctx);
   frame.append(body);
+  finish_frame(frame, start);
   return frame;
+}
+
+std::size_t begin_frame(std::string& out, bool has_id,
+                        std::uint64_t request_id,
+                        const TraceContextWire* trace) {
+  const std::size_t start = out.size();
+  std::uint32_t flags = 0;
+  // The trace flag is only valid alongside an id (see the header comment's
+  // sniffing note), so a trace context implies the id even if the caller
+  // forgot to say so.
+  if (has_id || trace != nullptr) flags |= kFrameIdFlag;
+  if (trace != nullptr) flags |= kFrameTraceFlag;
+  put_u32(out, flags);  // length placeholder; finish_frame backpatches it.
+  if (flags & kFrameIdFlag) put_u64(out, request_id);
+  if (trace != nullptr) {
+    out.push_back(static_cast<char>(kFrameTraceVersion));
+    put_u64(out, trace->trace_id);
+    put_u64(out, trace->parent_span);
+    put_u64(out, trace->budget_us);
+  }
+  return start;
+}
+
+void finish_frame(std::string& out, std::size_t frame_start) {
+  const std::uint32_t flag_bits =
+      static_cast<std::uint32_t>(
+          static_cast<std::uint8_t>(out[frame_start]))
+      << 24;
+  std::size_t header = kFramePrefixBytes;
+  if (flag_bits & kFrameIdFlag) header += kFrameIdBytes;
+  if (flag_bits & kFrameTraceFlag) header += kFrameTraceBytes;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(out.size() - frame_start - header);
+  const std::uint32_t prefix = length | (flag_bits & ~kFrameLenMask);
+  for (int i = 0; i < 4; ++i)
+    out[frame_start + static_cast<std::size_t>(i)] =
+        static_cast<char>((prefix >> (24 - 8 * i)) & 0xff);
 }
 
 std::string encode_trace_block(const TraceContextWire& ctx) {
@@ -272,32 +308,36 @@ TextEnvelope strip_text_envelope(std::string_view& line,
 
 std::string encode_request(const Request& request) {
   std::string body;
-  body.push_back(static_cast<char>(request.kind));
+  encode_request_into(request, body);
+  return body;
+}
+
+void encode_request_into(const Request& request, std::string& out) {
+  out.push_back(static_cast<char>(request.kind));
   switch (request.kind) {
     case QueryKind::kVmPower:
-      put_u32(body, request.host);
-      put_u32(body, request.vm);
+      put_u32(out, request.host);
+      put_u32(out, request.vm);
       break;
     case QueryKind::kTenantPower:
-      put_u32(body, request.tenant);
+      put_u32(out, request.tenant);
       break;
     case QueryKind::kVmEnergy:
-      put_u32(body, request.host);
-      put_u32(body, request.vm);
-      put_f64(body, request.t0);
-      put_f64(body, request.t1);
+      put_u32(out, request.host);
+      put_u32(out, request.vm);
+      put_f64(out, request.t0);
+      put_f64(out, request.t1);
       break;
     case QueryKind::kTenantEnergy:
     case QueryKind::kTenantCost:
-      put_u32(body, request.tenant);
-      put_f64(body, request.t0);
-      put_f64(body, request.t1);
+      put_u32(out, request.tenant);
+      put_f64(out, request.t0);
+      put_f64(out, request.t1);
       break;
     case QueryKind::kFleetPower:
     case QueryKind::kStats:
       break;
   }
-  return body;
 }
 
 std::optional<Request> decode_request(std::string_view body) {
@@ -344,28 +384,32 @@ std::optional<Request> decode_request(std::string_view body) {
 
 std::string encode_response(const Response& response) {
   std::string body;
+  encode_response_into(response, body);
+  return body;
+}
+
+void encode_response_into(const Response& response, std::string& out) {
   // Status 0 = OK, 1 = error, 2 = partial OK (a federated roll-up missing
   // some shards; the OK layout plus a trailing missing-shard list).
   const bool partial = response.ok && !response.complete;
-  body.push_back(response.ok ? (partial ? '\2' : '\0') : '\1');
+  out.push_back(response.ok ? (partial ? '\2' : '\0') : '\1');
   if (response.ok) {
-    put_u64(body, response.epoch);
-    body.push_back(static_cast<char>(response.values.size()));
-    for (const double value : response.values) put_f64(body, value);
+    put_u64(out, response.epoch);
+    out.push_back(static_cast<char>(response.values.size()));
+    for (const double value : response.values) put_f64(out, value);
     if (partial) {
-      put_u16(body, static_cast<std::uint16_t>(std::min<std::size_t>(
-                        response.missing_shards.size(), 0xffff)));
+      put_u16(out, static_cast<std::uint16_t>(std::min<std::size_t>(
+                       response.missing_shards.size(), 0xffff)));
       for (const std::uint32_t shard : response.missing_shards)
-        put_u32(body, shard);
+        put_u32(out, shard);
     }
   } else {
-    put_u16(body, static_cast<std::uint16_t>(response.code));
-    put_u64(body, response.detail);
-    put_u16(body, static_cast<std::uint16_t>(response.message.size()));
-    body.append(response.message, 0,
-                std::min<std::size_t>(response.message.size(), 0xffff));
+    put_u16(out, static_cast<std::uint16_t>(response.code));
+    put_u64(out, response.detail);
+    put_u16(out, static_cast<std::uint16_t>(response.message.size()));
+    out.append(response.message, 0,
+               std::min<std::size_t>(response.message.size(), 0xffff));
   }
-  return body;
 }
 
 std::optional<Response> decode_response(std::string_view body) {
@@ -469,26 +513,40 @@ std::optional<Request> parse_request_text(std::string_view line) {
 }
 
 std::string format_response_text(const Response& response) {
+  std::string line;
+  format_response_text_into(response, line);
+  return line;
+}
+
+void format_response_text_into(const Response& response, std::string& out) {
   if (!response.ok) {
-    std::string line = "ERR " + std::to_string(static_cast<int>(response.code));
+    out += "ERR ";
+    out += std::to_string(static_cast<int>(response.code));
     // The detail operand becomes a self-describing token so existing
     // "ERR <code> <message>" consumers only see it when it means something.
-    if (response.detail != 0)
-      line += " oldest=" + std::to_string(response.detail);
-    return line + " " + response.message;
+    if (response.detail != 0) {
+      out += " oldest=";
+      out += std::to_string(response.detail);
+    }
+    out += ' ';
+    out += response.message;
+    return;
   }
-  std::string line = "OK " + std::to_string(response.epoch);
-  for (const double value : response.values) line += " " + format_double(value);
+  out += "OK ";
+  out += std::to_string(response.epoch);
+  for (const double value : response.values) {
+    out += ' ';
+    out += format_double(value);
+  }
   // A degraded federated roll-up names the absent shards as one trailing
   // self-describing token, so complete answers keep their exact shape.
   if (!response.complete && !response.missing_shards.empty()) {
-    line += " missing=";
+    out += " missing=";
     for (std::size_t i = 0; i < response.missing_shards.size(); ++i) {
-      if (i) line += ',';
-      line += std::to_string(response.missing_shards[i]);
+      if (i) out += ',';
+      out += std::to_string(response.missing_shards[i]);
     }
   }
-  return line;
 }
 
 }  // namespace vmp::serve

@@ -169,6 +169,22 @@ inline constexpr std::string_view kScrapeEof = "# EOF";
                                                   std::uint64_t request_id,
                                                   const TraceContextWire& ctx);
 
+/// Single-copy framing: appends the frame header (length-prefix placeholder,
+/// optional request id, optional trace block) to `out` and returns the
+/// frame's start offset. The caller then appends the body bytes directly —
+/// encode_response_into / encode_request_into — and calls finish_frame,
+/// which backpatches the placeholder with the real body length and the
+/// flags the header implies. The encode_frame* functions above are this
+/// pair plus one body copy; hot paths that already own a reusable buffer
+/// skip that copy entirely.
+[[nodiscard]] std::size_t begin_frame(std::string& out, bool has_id,
+                                      std::uint64_t request_id,
+                                      const TraceContextWire* trace = nullptr);
+/// Backpatches the length prefix of the frame begun at `frame_start`. The
+/// header layout (id / trace) is recovered from the placeholder's flag bits,
+/// so no separate bookkeeping rides between the two calls.
+void finish_frame(std::string& out, std::size_t frame_start);
+
 /// The kFrameTraceBytes trace block alone (version byte + three u64s).
 [[nodiscard]] std::string encode_trace_block(const TraceContextWire& ctx);
 /// Decodes a trace block; false on wrong size or unknown version.
@@ -203,10 +219,16 @@ enum class TextEnvelope {
 /// --- binary bodies ---------------------------------------------------------
 
 [[nodiscard]] std::string encode_request(const Request& request);
+/// Appends the request body to `out` (the single-copy sibling of
+/// encode_request; pairs with begin_frame/finish_frame).
+void encode_request_into(const Request& request, std::string& out);
 /// nullopt on an unknown opcode or operand-layout mismatch.
 [[nodiscard]] std::optional<Request> decode_request(std::string_view body);
 
 [[nodiscard]] std::string encode_response(const Response& response);
+/// Appends the response body to `out` (the single-copy sibling of
+/// encode_response; pairs with begin_frame/finish_frame).
+void encode_response_into(const Response& response, std::string& out);
 [[nodiscard]] std::optional<Response> decode_response(std::string_view body);
 
 /// --- text lines (no trailing newline) --------------------------------------
@@ -215,5 +237,8 @@ enum class TextEnvelope {
 [[nodiscard]] std::optional<Request> parse_request_text(std::string_view line);
 
 [[nodiscard]] std::string format_response_text(const Response& response);
+/// Appends the response line to `out` (no trailing newline) — the
+/// single-copy sibling of format_response_text for reply buffers.
+void format_response_text_into(const Response& response, std::string& out);
 
 }  // namespace vmp::serve

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -109,6 +110,9 @@ Server::Server(QueryHandler& engine, fleet::Metrics& metrics,
   reordered_counter_ = &metrics_.counter(
       "vmpower_serve_responses_reordered_total",
       "Responses written out of their arrival position");
+  corked_counter_ = &metrics_.counter(
+      "vmpower_serve_corked_flushes_total",
+      "Reorder-buffer drains that batched multiple responses into one send");
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -154,6 +158,11 @@ void Server::accept_loop() {
       break;  // listening socket gone; nothing sensible left to accept.
     }
     accepted.inc();
+    if (options_.tcp_nodelay) {
+      // Best-effort: a failed setsockopt costs latency, not correctness.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
     auto conn = std::make_shared<Conn>(fd, options_);
     std::lock_guard lock(conns_mutex_);
     conns_.emplace_back(conn,
@@ -299,11 +308,10 @@ void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
         .inc();
     finish_admission();
     if (profile) profile->error = true;
-    deliver(*conn, ordered, seq, arrival,
-            error_bytes(binary, ErrorCode::kThrottled,
-                        "client exceeded its request rate", has_id,
-                        request_id),
-            std::move(profile));
+    std::string shed = error_bytes(binary, ErrorCode::kThrottled,
+                                   "client exceeded its request rate", has_id,
+                                   request_id);
+    deliver(*conn, ordered, seq, arrival, shed, std::move(profile));
     return;
   }
   outstanding_.fetch_add(1, std::memory_order_relaxed);
@@ -320,10 +328,10 @@ void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
                  "Requests shed by the bounded request queue")
         .inc();
     if (profile) profile->error = true;
-    deliver(*conn, ordered, seq, arrival,
-            error_bytes(binary, ErrorCode::kOverloaded,
-                        "request queue is full", has_id, request_id),
-            std::move(profile));
+    std::string shed = error_bytes(binary, ErrorCode::kOverloaded,
+                                   "request queue is full", has_id,
+                                   request_id);
+    deliver(*conn, ordered, seq, arrival, shed, std::move(profile));
     return;
   }
   metrics_
@@ -333,6 +341,13 @@ void Server::admit(const std::shared_ptr<Conn>& conn, std::string payload,
 }
 
 void Server::worker_loop() {
+  // One reusable encode buffer per worker, not per connection: out-of-order
+  // completion means two workers can encode responses for the same
+  // connection concurrently, so a per-connection buffer would race. The
+  // per-worker buffer keeps its capacity across requests (deliver only
+  // moves from it when a response parks in the reorder buffer), so the
+  // steady state is zero encode allocations.
+  std::string bytes;
   while (auto task = queue_.pop()) {
     StageProfile* profile = task->profile.get();
     if (profile != nullptr)
@@ -347,25 +362,28 @@ void Server::worker_loop() {
     if (options_.cost_query_delay.count() > 0 &&
         is_cost_query(task->payload, task->binary))
       std::this_thread::sleep_for(options_.cost_query_delay);
-    std::string bytes;
+    bytes.clear();
     if (task->binary) {
-      const std::string body = dispatcher_.handle_binary(
-          task->payload, task->request_id,
-          task->has_trace ? &task->trace : nullptr);
-      bytes = task->has_id ? encode_frame_with_id(body, task->request_id)
-                           : encode_frame(body);
+      // Single-copy path: the response body is encoded straight into the
+      // frame opened here — no intermediate body string.
+      const std::size_t start =
+          begin_frame(bytes, task->has_id, task->request_id);
+      dispatcher_.handle_binary_into(task->payload, bytes, task->request_id,
+                                     task->has_trace ? &task->trace : nullptr);
+      finish_frame(bytes, start);
     } else {
       // Text ids live in the line itself; the dispatcher echoes them.
-      bytes = dispatcher_.handle_text(task->payload) + "\n";
+      dispatcher_.handle_text_into(task->payload, bytes);
+      bytes.push_back('\n');
     }
-    deliver(*task->conn, task->ordered, task->seq, task->arrival,
-            std::move(bytes), std::move(task->profile));
+    deliver(*task->conn, task->ordered, task->seq, task->arrival, bytes,
+            std::move(task->profile));
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void Server::deliver(Conn& conn, bool ordered, std::uint64_t seq,
-                     std::uint64_t arrival, std::string bytes,
+                     std::uint64_t arrival, std::string& bytes,
                      std::shared_ptr<StageProfile> profile) {
   if (profile) profile->ready_ns = profile_now_ns();
   if (!ordered) {
@@ -378,15 +396,29 @@ void Server::deliver(Conn& conn, bool ordered, std::uint64_t seq,
   // response's profile rides in the buffer, so its write stage honestly
   // includes the reorder hold.
   std::lock_guard lock(conn.order_mutex);
-  conn.held.emplace(seq, Conn::Held{arrival, std::move(bytes),
-                                    std::move(profile)});
+  if (seq != conn.next_ordered) {
+    conn.held.emplace(seq, Conn::Held{arrival, std::move(bytes),
+                                      std::move(profile)});
+    return;
+  }
+  ++conn.next_ordered;
   auto it = conn.held.begin();
+  if (it == conn.held.end() || it->first != conn.next_ordered) {
+    // Head of line with no parked successor — the common case writes
+    // straight from the caller's buffer.
+    write_response(conn, arrival, bytes, profile.get());
+    return;
+  }
+  // This response releases a run of parked successors: flush the whole run
+  // as one corked send instead of one syscall per small response.
+  std::vector<Conn::Held> batch;
+  batch.push_back(Conn::Held{arrival, std::move(bytes), std::move(profile)});
   while (it != conn.held.end() && it->first == conn.next_ordered) {
-    write_response(conn, it->second.arrival, it->second.bytes,
-                   it->second.profile.get());
+    batch.push_back(std::move(it->second));
     it = conn.held.erase(it);
     ++conn.next_ordered;
   }
+  write_corked(conn, batch);
 }
 
 void Server::write_response(Conn& conn, std::uint64_t arrival,
@@ -413,6 +445,43 @@ void Server::write_response(Conn& conn, std::uint64_t arrival,
   }
 }
 
+void Server::write_corked(Conn& conn, std::vector<Conn::Held>& batch) {
+  std::size_t total = 0;
+  for (const Conn::Held& held : batch) total += held.bytes.size();
+  std::string wire;
+  wire.reserve(total);
+  for (const Conn::Held& held : batch) wire += held.bytes;
+  {
+    std::lock_guard lock(conn.write_mutex);
+    // Per-response accounting is identical to write_response — the batch is
+    // still batch-size answers, delivered in one send. All counters (the
+    // corked flush included) are bumped before the send so a client that
+    // scrapes metrics the moment it reads the responses sees them.
+    for (const Conn::Held& held : batch) {
+      answered_.fetch_add(1, std::memory_order_relaxed);
+      answered_counter_->inc();
+      if (held.arrival > conn.written) reordered_counter_->inc();
+      ++conn.written;
+    }
+    corked_counter_->inc();
+    if (conn.open.load(std::memory_order_relaxed) &&
+        !send_fully(conn.fd, wire))
+      conn.open.store(false, std::memory_order_relaxed);
+  }
+  if (options_.profiler != nullptr) {
+    const std::uint64_t now_ns = profile_now_ns();
+    for (Conn::Held& held : batch) {
+      if (held.profile == nullptr) continue;
+      held.profile->add(
+          Stage::kWrite,
+          static_cast<double>(now_ns - held.profile->ready_ns) * 1e-9);
+      held.profile->total_s =
+          static_cast<double>(now_ns - held.profile->start_ns) * 1e-9;
+      options_.profiler->observe(*held.profile);
+    }
+  }
+}
+
 void Server::reply(Conn& conn, std::string_view bytes) {
   if (!conn.open.load(std::memory_order_relaxed)) return;
   std::lock_guard lock(conn.write_mutex);
@@ -424,14 +493,21 @@ std::string Server::error_bytes(bool binary, ErrorCode code,
                                 const std::string& message, bool has_id,
                                 std::uint64_t request_id) const {
   const Response response = Response::error(code, message);
+  std::string out;
   if (binary) {
-    const std::string body = encode_response(response);
-    return has_id ? encode_frame_with_id(body, request_id)
-                  : encode_frame(body);
+    const std::size_t start = begin_frame(out, has_id, request_id);
+    encode_response_into(response, out);
+    finish_frame(out, start);
+    return out;
   }
-  std::string line = format_response_text(response);
-  if (has_id) line = "#" + std::to_string(request_id) + " " + line;
-  return line + "\n";
+  if (has_id) {
+    out += '#';
+    out += std::to_string(request_id);
+    out += ' ';
+  }
+  format_response_text_into(response, out);
+  out += '\n';
+  return out;
 }
 
 void Server::reply_error(Conn& conn, bool binary, ErrorCode code,

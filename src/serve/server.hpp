@@ -52,6 +52,11 @@ struct ServerOptions {
   /// connection — while id-less requests always keep arrival order. False
   /// forces arrival order for every response (the explicit ordered mode).
   bool out_of_order = true;
+  /// Disable Nagle's algorithm on accepted connections (the default):
+  /// responses are small and latency-bound, so coalescing them behind a
+  /// delayed ACK only adds round trips. False restores the kernel default
+  /// for before/after measurement.
+  bool tcp_nodelay = true;
   /// Test hook: stalls each worker per request so overload tests can fill
   /// the queue deterministically. Zero in production.
   std::chrono::milliseconds worker_delay{0};
@@ -158,9 +163,12 @@ class Server {
              bool has_trace = false, TraceContextWire trace = {});
   /// Routes one completed response: unordered responses are written
   /// immediately; ordered responses wait in the reorder buffer for their
-  /// arrival turn.
+  /// arrival turn. `bytes` is taken by reference so the caller's reusable
+  /// encode buffer survives the common immediate-write path with its
+  /// capacity intact; it is only moved from when the response parks in the
+  /// reorder buffer (or joins a corked batch).
   void deliver(Conn& conn, bool ordered, std::uint64_t seq,
-               std::uint64_t arrival, std::string bytes,
+               std::uint64_t arrival, std::string& bytes,
                std::shared_ptr<StageProfile> profile = nullptr);
   /// The single response write: counts the response, the out-of-arrival
   /// writes, and drops the connection on a failed send. Finalises and
@@ -168,6 +176,10 @@ class Server {
   void write_response(Conn& conn, std::uint64_t arrival,
                       std::string_view bytes,
                       StageProfile* profile = nullptr);
+  /// Corked flush: when one response unblocks a run of parked successors,
+  /// the whole run goes out in a single send with per-response accounting —
+  /// one syscall instead of batch-size syscalls of small writes.
+  void write_corked(Conn& conn, std::vector<Conn::Held>& batch);
   [[nodiscard]] std::string error_bytes(bool binary, ErrorCode code,
                                         const std::string& message,
                                         bool has_id,
@@ -195,6 +207,7 @@ class Server {
   fleet::Counter* admitted_counter_ = nullptr;
   fleet::Counter* answered_counter_ = nullptr;
   fleet::Counter* reordered_counter_ = nullptr;
+  fleet::Counter* corked_counter_ = nullptr;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -86,6 +86,14 @@ Response Dispatcher::run(const std::optional<Request>& request,
 std::string Dispatcher::handle_binary(std::string_view body,
                                       std::uint64_t trace_id,
                                       const TraceContextWire* trace) {
+  std::string out;
+  handle_binary_into(body, out, trace_id, trace);
+  return out;
+}
+
+void Dispatcher::handle_binary_into(std::string_view body, std::string& out,
+                                    std::uint64_t trace_id,
+                                    const TraceContextWire* trace) {
   // A carried trace context adopts the caller's trace and parents this
   // request's spans under the caller's span; otherwise the request id is
   // the trace and the spans are roots.
@@ -105,7 +113,7 @@ std::string Dispatcher::handle_binary(std::string_view body,
   const Response response = run(request, "binary");
   StageTimer serialize(Stage::kSerialize);
   VMP_TRACE_SPAN("serve.encode", "serve");
-  return encode_response(response);
+  encode_response_into(response, out);
 }
 
 std::optional<std::string> Dispatcher::run_command(std::string_view line) {
@@ -138,6 +146,12 @@ std::optional<std::string> Dispatcher::run_command(std::string_view line) {
 }
 
 std::string Dispatcher::handle_text(std::string_view line) {
+  std::string out;
+  handle_text_into(line, out);
+  return out;
+}
+
+void Dispatcher::handle_text_into(std::string_view line, std::string& out) {
   std::uint64_t request_id = 0;
   TraceContextWire wire;
   const TextEnvelope envelope = strip_text_envelope(line, request_id, wire);
@@ -149,9 +163,13 @@ std::string Dispatcher::handle_text(std::string_view line) {
           .inc();
     if (StageProfile* profile = current_stage_profile())
       profile->error = true;
-    return "#" + std::to_string(request_id) + " " +
-           format_response_text(Response::error(ErrorCode::kMalformed,
-                                                "malformed trace context"));
+    out += '#';
+    out += std::to_string(request_id);
+    out += ' ';
+    format_response_text_into(
+        Response::error(ErrorCode::kMalformed, "malformed trace context"),
+        out);
+    return;
   }
   const bool has_id = envelope != TextEnvelope::kNone;
   const bool traced = envelope == TextEnvelope::kTraced;
@@ -163,21 +181,24 @@ std::string Dispatcher::handle_text(std::string_view line) {
       profile->budget_us = wire.budget_us;
     }
   }
-  std::string payload;
-  if (auto scrape = run_command(line)) {
-    payload = std::move(*scrape);
-  } else {
-    std::optional<Request> request;
-    {
-      VMP_TRACE_SPAN("serve.parse", "serve");
-      request = parse_request_text(line);
-    }
-    const Response response = run(request, "text");
-    StageTimer serialize(Stage::kSerialize);
-    VMP_TRACE_SPAN("serve.encode", "serve");
-    payload = format_response_text(response);
+  if (has_id) {
+    out += '#';
+    out += std::to_string(request_id);
+    out += ' ';
   }
-  return has_id ? "#" + std::to_string(request_id) + " " + payload : payload;
+  if (auto scrape = run_command(line)) {
+    out += *scrape;
+    return;
+  }
+  std::optional<Request> request;
+  {
+    VMP_TRACE_SPAN("serve.parse", "serve");
+    request = parse_request_text(line);
+  }
+  const Response response = run(request, "text");
+  StageTimer serialize(Stage::kSerialize);
+  VMP_TRACE_SPAN("serve.encode", "serve");
+  format_response_text_into(response, out);
 }
 
 InProcessTransport::InProcessTransport(QueryHandler& engine,
@@ -215,9 +236,12 @@ std::string InProcessTransport::roundtrip_binary(std::string_view frame) {
             trace))
       return encode_frame_with_id(error_body, request_id);
   }
-  std::string body = dispatcher_.handle_binary(
-      frame.substr(header), request_id, has_trace ? &trace : nullptr);
-  return has_id ? encode_frame_with_id(body, request_id) : encode_frame(body);
+  std::string out;
+  const std::size_t start = begin_frame(out, has_id, request_id);
+  dispatcher_.handle_binary_into(frame.substr(header), out, request_id,
+                                 has_trace ? &trace : nullptr);
+  finish_frame(out, start);
+  return out;
 }
 
 std::string InProcessTransport::roundtrip_text(std::string_view line) {

@@ -43,12 +43,25 @@ class Dispatcher {
       std::string_view body, std::uint64_t trace_id = 0,
       const TraceContextWire* trace = nullptr);
 
+  /// Single-copy sibling of handle_binary: appends the response body to
+  /// `out` instead of returning it, so a caller that already opened a frame
+  /// with begin_frame gets the encoded response without an intermediate
+  /// body string.
+  void handle_binary_into(std::string_view body, std::string& out,
+                          std::uint64_t trace_id = 0,
+                          const TraceContextWire* trace = nullptr);
+
   /// Handles one request line (no newline); returns the response line. A
   /// leading "#<id>" (or traced "#<id>@<trace>:<parent>:<budget>") token is
   /// consumed, used as the trace id, and echoed — id alone — as the first
   /// token of the response. A malformed trace suffix earns kMalformed
   /// without touching the engine.
   [[nodiscard]] std::string handle_text(std::string_view line);
+
+  /// Single-copy sibling of handle_text: appends the response line (no
+  /// trailing newline) to `out` — the id echo, scrape payload, or formatted
+  /// response land directly in the caller's write buffer.
+  void handle_text_into(std::string_view line, std::string& out);
 
   /// The profiler behind the HEALTH command (and METRICS-time publishing).
   void set_profiler(ServeProfiler* profiler) noexcept { profiler_ = profiler; }

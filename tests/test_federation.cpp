@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "federate/health.hpp"
+#include "federate/pool.hpp"
 #include "federate/shard_map.hpp"
 #include "federate/spin.hpp"
 #include "obs/invariants.hpp"
@@ -638,6 +639,268 @@ TEST(Federation, FederatedQueryStitchesOneTraceTreeAcrossTiers) {
   EXPECT_NE(jsonl.find("serve.execute"), std::string::npos);
   slow_shard.stop();
   fast_shard.stop();
+}
+
+// --- connection pool --------------------------------------------------------
+
+/// One shard with published epoch 1, for driving a raw ConnectionPool.
+std::unique_ptr<InProcessShard> pool_shard(std::uint16_t port = 0) {
+  InProcessShardOptions options;
+  options.fleet = 1;
+  options.engine = exact_tou_options();
+  options.server = quick_server();
+  options.server.port = port;
+  auto shard = std::make_unique<InProcessShard>(options);
+  shard->store().publish(shard_at(1, 1.0));
+  return shard;
+}
+
+constexpr std::chrono::milliseconds kPoolTimeout{1000};
+
+TEST(ConnectionPool, DistinctConnectionsExactCountsAndIdleBound) {
+  auto shard = pool_shard();
+  PoolOptions options;
+  options.max_idle_per_endpoint = 1;
+  ConnectionPool pool(options);
+
+  // Two simultaneous checkouts (what hedged legs do) can never share: a
+  // checked-out connection is out of the idle list until checked back in.
+  ConnectionPool::Lease a = pool.checkout(shard->port(), kPoolTimeout);
+  ConnectionPool::Lease b = pool.checkout(shard->port(), kPoolTimeout);
+  ASSERT_NE(a.client, nullptr);
+  ASSERT_NE(b.client, nullptr);
+  EXPECT_NE(a.client.get(), b.client.get());
+  EXPECT_FALSE(a.reused);
+  EXPECT_FALSE(b.reused);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.hits(), 0u);
+
+  const Request request = make_request(QueryKind::kFleetPower, 0, 0, 0);
+  EXPECT_TRUE(a.client->query(request).ok);
+  EXPECT_TRUE(b.client->query(request).ok);
+
+  // Idle bound 1: the second check-in closes instead of parking.
+  pool.checkin(std::move(a));
+  pool.checkin(std::move(b));
+  EXPECT_EQ(pool.idle(shard->port()), 1u);
+  EXPECT_EQ(pool.evictions(), 1u);
+
+  // The parked connection is reused, and a deliberate discard evicts it.
+  ConnectionPool::Lease c = pool.checkout(shard->port(), kPoolTimeout);
+  EXPECT_TRUE(c.reused);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_TRUE(c.client->query(request).ok);
+  pool.discard(std::move(c));
+  EXPECT_EQ(pool.idle(shard->port()), 0u);
+  EXPECT_EQ(pool.evictions(), 2u);
+  EXPECT_EQ(pool.misses(), 2u);  // reuse and discard dialed nothing new.
+  shard->stop();
+}
+
+TEST(ConnectionPool, StaleSocketIsDetectedAndReconnectedAfterRestart) {
+  auto shard = pool_shard();
+  const std::uint16_t port = shard->port();
+  ConnectionPool pool{PoolOptions{}};
+  const Request request = make_request(QueryKind::kFleetPower, 0, 0, 0);
+
+  ConnectionPool::Lease lease = pool.checkout(port, kPoolTimeout);
+  EXPECT_TRUE(lease.client->query(request).ok);
+  pool.checkin(std::move(lease));
+
+  // Restart the shard on the same port: the parked socket is now stale —
+  // alive as a file descriptor, dead as a connection.
+  shard->stop();
+  shard = pool_shard(port);
+  ASSERT_EQ(shard->port(), port);
+
+  lease = pool.checkout(port, kPoolTimeout);
+  EXPECT_TRUE(lease.reused);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_THROW((void)lease.client->query(request), std::runtime_error);
+
+  // reconnect() replaces the stale socket with a fresh dial; it counts as a
+  // reconnect, not a miss, and the stale socket counts as an eviction.
+  lease = pool.reconnect(std::move(lease), kPoolTimeout);
+  EXPECT_FALSE(lease.reused);
+  EXPECT_TRUE(lease.client->query(request).ok);
+  pool.checkin(std::move(lease));
+  EXPECT_EQ(pool.reconnects(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_GE(pool.evictions(), 1u);
+  shard->stop();
+}
+
+TEST(Federation, PooledFanoutReusesConnectionsAndCountsExactlyOnce) {
+  Federation fed(/*ticks=*/4);
+  ASSERT_NE(fed.frontend->pool(), nullptr);
+  EXPECT_GT(fed.frontend->dispatch_workers(), 0u);
+
+  const Request request =
+      make_request(QueryKind::kTenantEnergy, 0, 0, 1, 1.0, 3.0);
+  const Response first = fed.frontend->execute(request);
+  ASSERT_TRUE(first.ok) << first.message;
+  for (int i = 0; i < 4; ++i) {
+    const Response again = fed.frontend->execute(request);
+    EXPECT_EQ(serve::encode_response(again), serve::encode_response(first));
+  }
+
+  // Exactly one dial per shard ever; every later leg reuses. The counter
+  // families and the pool's own accounting must agree exactly — a leg is a
+  // hit or a miss, never both, never neither.
+  ConnectionPool& pool = *fed.frontend->pool();
+  EXPECT_EQ(pool.misses(), 3u);
+  EXPECT_EQ(pool.hits(), 12u);
+  EXPECT_EQ(pool.reconnects(), 0u);
+  EXPECT_EQ(pool.evictions(), 0u);
+  EXPECT_EQ(fed.metrics.counter("vmpower_fed_pool_misses_total", "").value(),
+            3u);
+  EXPECT_EQ(fed.metrics.counter("vmpower_fed_pool_hits_total", "").value(),
+            12u);
+  EXPECT_EQ(
+      fed.metrics.counter("vmpower_fed_pool_reconnects_total", "").value(),
+      0u);
+  EXPECT_EQ(
+      fed.metrics.counter("vmpower_fed_pool_evictions_total", "").value(),
+      0u);
+}
+
+TEST(Federation, PooledFrontendSurvivesAShardRestartWithoutEjection) {
+  FrontendOptions options;
+  options.retries = 0;
+  options.health.eject_after = 1;  // any counted failure would eject.
+  Federation fed(/*ticks=*/4, options);
+  const Request request = make_request(QueryKind::kFleetPower, 0, 0, 0);
+  ASSERT_TRUE(fed.frontend->execute(request).ok);  // pool all 3 connections.
+
+  // Bounce fleet 2's shard on the same port.
+  const std::uint16_t port = fed.shards[1]->port();
+  fed.shards[1]->stop();
+  InProcessShardOptions shard_options;
+  shard_options.fleet = 2;
+  shard_options.engine = exact_tou_options();
+  shard_options.server = quick_server();
+  shard_options.server.port = port;
+  fed.shards[1] = std::make_unique<InProcessShard>(shard_options);
+  for (int t = 1; t <= 4; ++t)
+    fed.shards[1]->store().publish(shard_at(2, t));
+
+  // The pooled leg trips over its stale socket, reconnects once, and the
+  // fan-out stays complete: a restart costs one reconnect, not a health
+  // failure — with eject_after = 1 an uncounted failure is observable as
+  // the shard staying admitted.
+  const Response response = fed.frontend->execute(request);
+  ASSERT_TRUE(response.ok) << response.message;
+  EXPECT_TRUE(response.complete);
+  EXPECT_FALSE(fed.frontend->health().ejected(2));
+  EXPECT_EQ(fed.frontend->pool()->reconnects(), 1u);
+}
+
+TEST(Federation, TimedOutPooledConnectionIsDiscardedNotReused) {
+  // A timed-out connection is indeterminate — the response may still be in
+  // flight — so it must never be parked for reuse.
+  InProcessShardOptions shard_options;
+  shard_options.fleet = 1;
+  shard_options.engine = exact_tou_options();
+  shard_options.server = quick_server();
+  shard_options.server.worker_delay = std::chrono::milliseconds(300);
+  InProcessShard shard(shard_options);
+  shard.store().publish(shard_at(1, 1.0));
+
+  FrontendOptions options;
+  options.deadline = std::chrono::milliseconds(50);
+  options.retries = 0;
+  FederationFrontend frontend(ShardMap({FleetShard{1, {shard.port()}}}),
+                              options);
+  const Response response =
+      frontend.execute(make_request(QueryKind::kFleetPower, 0, 0, 0));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.code, ErrorCode::kUnavailable);
+  ASSERT_NE(frontend.pool(), nullptr);
+  EXPECT_EQ(frontend.pool()->idle(shard.port()), 0u);
+  EXPECT_GE(frontend.pool()->evictions(), 1u);
+  EXPECT_EQ(frontend.pool()->reconnects(), 0u);  // slow is not stale.
+  shard.stop();
+}
+
+TEST(Federation, PooledAndUnpooledRollupsAreByteIdentical) {
+  Federation fed(/*ticks=*/4);  // pooled by default.
+  std::vector<FleetShard> mapped;
+  for (const auto& shard : fed.shards)
+    mapped.push_back(FleetShard{shard->fleet(), {shard->port()}});
+  FrontendOptions legacy;
+  legacy.pooled = false;
+  FederationFrontend unpooled(ShardMap(std::move(mapped)), legacy);
+  EXPECT_EQ(unpooled.pool(), nullptr);
+  EXPECT_EQ(unpooled.dispatch_workers(), 0u);
+
+  const std::vector<Request> requests = {
+      make_request(QueryKind::kFleetPower, 0, 0, 0),
+      make_request(QueryKind::kVmEnergy, 2, 1, 0, 1.0, 4.0),
+      make_request(QueryKind::kTenantPower, 0, 0, 2),
+      make_request(QueryKind::kTenantEnergy, 0, 0, 1, 1.0, 3.0),
+      make_request(QueryKind::kTenantCost, 0, 0, 2, 1.0, 4.0),
+      make_request(QueryKind::kVmPower, 2, 1, 0),
+  };
+  for (const Request& request : requests) {
+    const Response pooled = fed.frontend->execute(request);
+    const Response direct = unpooled.execute(request);
+    ASSERT_TRUE(pooled.ok) << pooled.message;
+    EXPECT_EQ(serve::encode_response(pooled), serve::encode_response(direct));
+    EXPECT_EQ(serve::format_response_text(pooled),
+              serve::format_response_text(direct));
+  }
+}
+
+TEST(Federation, HedgedLegsUseThePoolWithoutSharingAConnection) {
+  // Slow primary, fast replica, hedging on, pooled transport: the hedge leg
+  // must check out its own connection (checkout removes it from the idle
+  // list, so concurrent legs cannot alias), and both legs' connections are
+  // accounted exactly once.
+  InProcessShardOptions shard_options;
+  shard_options.fleet = 1;
+  shard_options.engine = exact_tou_options();
+  shard_options.server = quick_server();
+  shard_options.server.worker_delay = std::chrono::milliseconds(200);
+  shard_options.replica = quick_server();
+  InProcessShard shard(shard_options);
+  shard.store().publish(shard_at(1, 1.0));
+
+  FrontendOptions options;
+  options.deadline = std::chrono::milliseconds(2000);
+  options.retries = 0;
+  options.hedge = true;
+  options.hedge_delay = std::chrono::milliseconds(20);
+  FederationFrontend frontend(
+      ShardMap({FleetShard{1, {shard.port(), shard.replica_port()}}}),
+      options);
+
+  const Response response =
+      frontend.execute(make_request(QueryKind::kFleetPower, 0, 0, 0));
+  ASSERT_TRUE(response.ok) << response.message;
+  EXPECT_EQ(response.values.at(0), 3.0);
+
+  // Primary and replica are distinct endpoints, and neither had an idle
+  // connection: both legs dialed. Wait out the stray primary leg (bounded
+  // by its 200 ms stall), then both connections must be parked — one per
+  // endpoint, none shared, none lost.
+  ConnectionPool& pool = *frontend.pool();
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.hits(), 0u);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((pool.idle(shard.port()) + pool.idle(shard.replica_port())) < 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(pool.idle(shard.port()), 1u);
+  EXPECT_EQ(pool.idle(shard.replica_port()), 1u);
+
+  // A second hedged query reuses both parked connections.
+  const Response again =
+      frontend.execute(make_request(QueryKind::kFleetPower, 0, 0, 0));
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(serve::encode_response(again), serve::encode_response(response));
+  EXPECT_EQ(pool.misses(), 2u);
+  shard.stop();
 }
 
 }  // namespace

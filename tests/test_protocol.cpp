@@ -158,6 +158,65 @@ TEST(ProtocolCodec, TextResponsesRoundTripDoublesExactly) {
             "ERR 8 slow down");
 }
 
+TEST(ProtocolCodec, SingleCopyFramingMatchesTheLegacyEncodersByte) {
+  // begin_frame / finish_frame + the *_into encoders write straight into
+  // one buffer; the frames must equal the copying encoders bit for bit in
+  // all three header shapes (plain, id, traced).
+  Request request;
+  request.kind = QueryKind::kTenantCost;
+  request.tenant = 3;
+  request.t0 = 1.5;
+  request.t1 = 17.25;
+  const std::string body = encode_request(request);
+  {
+    std::string single;
+    single.reserve(64);
+    const std::size_t start = begin_frame(single, false, 0);
+    encode_request_into(request, single);
+    finish_frame(single, start);
+    EXPECT_EQ(single, encode_frame(body));
+  }
+  {
+    std::string single;
+    const std::size_t start = begin_frame(single, true, 0xdeadbeefcafef00dull);
+    encode_request_into(request, single);
+    finish_frame(single, start);
+    EXPECT_EQ(single, encode_frame_with_id(body, 0xdeadbeefcafef00dull));
+  }
+  {
+    TraceContextWire trace;
+    trace.trace_id = 0x1111222233334444ull;
+    trace.parent_span = 0x5555666677778888ull;
+    trace.budget_us = 250000;
+    std::string single;
+    const std::size_t start = begin_frame(single, true, 42, &trace);
+    encode_request_into(request, single);
+    finish_frame(single, start);
+    EXPECT_EQ(single, encode_frame_with_trace(body, 42, trace));
+  }
+  // Appending into a non-empty buffer (the corked path) leaves the prefix
+  // untouched and frames only the new bytes.
+  {
+    std::string wire = "already-sent";
+    const std::size_t start = begin_frame(wire, true, 7);
+    encode_request_into(request, wire);
+    finish_frame(wire, start);
+    EXPECT_EQ(wire.substr(0, 12), "already-sent");
+    EXPECT_EQ(wire.substr(12), encode_frame_with_id(body, 7));
+  }
+  // Response and text formatting share the same into-variants.
+  const Response ok = Response::success(24, {1.0, 2.5});
+  const Response err = Response::error(ErrorCode::kThrottled, "slow down");
+  for (const Response& response : {ok, err}) {
+    std::string into;
+    encode_response_into(response, into);
+    EXPECT_EQ(into, encode_response(response));
+    std::string text = "#9 ";
+    format_response_text_into(response, text);
+    EXPECT_EQ(text, "#9 " + format_response_text(response));
+  }
+}
+
 // --- shared dispatch path ---------------------------------------------------
 
 class TransportTest : public ::testing::Test {
@@ -667,6 +726,44 @@ TEST_F(ServerTest, OrderedModeForcesArrivalOrderForIdRequests) {
   server.stop();
 }
 
+TEST_F(ServerTest, ReleasedReorderRunIsCorkedIntoOneFlush) {
+  // Ordered mode with a stalled head: the cheap tail parks in the reorder
+  // buffer, and when the head completes the whole run must leave in one
+  // corked send — counted once — with every response byte still correct
+  // and in arrival order.
+  ServerOptions options = quick_options();
+  options.out_of_order = false;
+  options.cost_query_delay = std::chrono::milliseconds(100);
+  Server server(engine_, metrics_, options);
+  Client client(server.port());
+
+  Request slow;
+  slow.kind = QueryKind::kTenantCost;
+  slow.tenant = 1;
+  slow.t0 = 6.0;
+  slow.t1 = 18.0;
+  Request cheap;
+  cheap.kind = QueryKind::kFleetPower;
+  client.send_query_with_id(slow, 1);
+  for (std::uint64_t id = 2; id <= 4; ++id)
+    client.send_query_with_id(cheap, id);
+
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    const auto [echoed, response] = client.recv_response_with_id();
+    EXPECT_EQ(echoed, id);
+    ASSERT_TRUE(response.ok) << response.message;
+    if (id > 1) EXPECT_DOUBLE_EQ(response.values.at(0), 72.0);
+  }
+
+  const std::string dump = metrics_.to_prometheus();
+  EXPECT_NE(dump.find("vmpower_serve_corked_flushes_total 1"),
+            std::string::npos);
+  EXPECT_NE(dump.find("vmpower_serve_answered_total 4"), std::string::npos);
+  EXPECT_NE(dump.find("vmpower_serve_responses_reordered_total 0"),
+            std::string::npos);
+  server.stop();
+}
+
 TEST_F(ServerTest, ResponsesByteIdenticalBetweenOrderedAndOutOfOrder) {
   // Same engine behind both servers: for every request id the wire bytes
   // must match regardless of completion order — including error responses.
@@ -723,7 +820,15 @@ TEST_F(ServerTest, ExactlyOnceAccountingBalancesAfterDrain) {
   Client client(server.port());
   for (int i = 0; i < 5; ++i) (void)client.query_text("fleet-power");
 
-  // query_text awaits each response, so nothing is in flight here.
+  // query_text awaits each response, but the worker decrements the
+  // outstanding gauge only after the send (decrementing first would let the
+  // invariant monitor observe outstanding==0 while answered<admitted), so
+  // give the last decrement a moment to land.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.outstanding() != 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_EQ(server.admitted(), 5u);
   EXPECT_EQ(server.answered(), 5u);
   EXPECT_EQ(server.outstanding(), 0u);

@@ -156,6 +156,7 @@ commands:
   federate (--shards "F=PORT[,PORT];..." | --spin N) [--port P] [--workers W]
           [--deadline-ms D] [--retries R] [--backoff-ms B]
           [--hedge] [--hedge-delay-ms H] [--skew accept|reject] [--max-skew N]
+          [--fed-pool 0|1] [--fed-workers N] [--fed-pool-idle N]
           [--query "verb args"] [--linger S] [--metrics FILE]
           [--trace] [--trace-out FILE]
           [--slow-ms D] [--slo-ms D] [--slo-target Q]
@@ -170,6 +171,11 @@ commands:
           --hedge          race a replica when the primary is slow
           --skew reject    error (code 12) when shard epochs spread more
                            than --max-skew instead of rolling up at the min
+          --fed-pool 0     disable connection pooling + the persistent
+                           dispatcher (legacy thread-per-shard fan-out)
+          --fed-workers N  dispatch pool size (default 0 = shards x 2)
+          --fed-pool-idle N  idle connections kept per shard endpoint
+                           (default 2)
           --query "..."    answer one query through the frontend and exit;
                            otherwise serve on --port for --linger seconds
   trace   [--fleet VM1,...] [--hosts N] [--duration TICKS] [--out FILE]
@@ -700,6 +706,11 @@ int cmd_federate(const util::CliArgs& args) {
     fed_options.skew_policy = federate::SkewPolicy::kReject;
   else if (skew != "accept")
     throw std::invalid_argument("federate: --skew must be accept or reject");
+  fed_options.pooled = args.get_long("fed-pool", 1) != 0;
+  fed_options.workers =
+      static_cast<std::size_t>(args.get_long("fed-workers", 0));
+  fed_options.max_idle_per_endpoint =
+      static_cast<std::size_t>(args.get_long("fed-pool-idle", 2));
 
   fleet::Metrics metrics;
   obs::InvariantMonitor monitor(metrics);
